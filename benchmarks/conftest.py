@@ -1,0 +1,43 @@
+"""Shared state for the benchmark harness.
+
+One :class:`ExperimentContext` is shared by every benchmark, so the
+three workload simulations run once per session; each exhibit benchmark
+then measures its own derivation work and prints the paper-vs-measured
+table it regenerates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentContext, RunSettings
+
+# Full-quality settings (the same steady-state window the experiments
+# CLI uses by default).
+SETTINGS = RunSettings(horizon_ms=80.0, warmup_ms=500.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(SETTINGS)
+
+
+@pytest.fixture(scope="session")
+def warm_ctx(ctx) -> ExperimentContext:
+    """Context with all three workloads already simulated and analyzed,
+    so individual benchmarks time only their own derivation."""
+    for workload in ("pmake", "multpgm", "oracle"):
+        ctx.report(workload)
+    return ctx
+
+
+def run_exhibit(benchmark, ctx, exhibit_id: str):
+    """Benchmark one exhibit build and print its table."""
+    from repro.experiments.registry import run_experiment
+
+    exhibit = benchmark.pedantic(
+        run_experiment, args=(exhibit_id, ctx), rounds=1, iterations=1
+    )
+    print()
+    print(exhibit.to_text())
+    return exhibit

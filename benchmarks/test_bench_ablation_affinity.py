@@ -1,0 +1,8 @@
+"""Benchmark regenerating the affinity-scheduling ablation (Section 4.2.2)."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_ablation_affinity(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "ablation-affinity")
+    assert exhibit.rows

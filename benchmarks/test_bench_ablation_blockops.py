@@ -1,0 +1,8 @@
+"""Benchmark regenerating the block-op bypass/prefetch ablation (Section 4.2.2)."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_ablation_blockops(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "ablation-blockops")
+    assert exhibit.rows

@@ -1,0 +1,8 @@
+"""Benchmark regenerating the code-layout ablation (Section 4.2.1 proposal)."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_ablation_layout(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "ablation-layout")
+    assert exhibit.rows

@@ -1,0 +1,8 @@
+"""Benchmark regenerating the distributed run-queue ablation (Section 6)."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_ablation_runqueues(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "ablation-runqueues")
+    assert exhibit.rows

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 1: the basic OS/application interleaving pattern."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_figure1(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "figure1")
+    assert exhibit.rows

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 10: OS-induced application misses (Ap_dispos)."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_figure10(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "figure10")
+    assert exhibit.rows

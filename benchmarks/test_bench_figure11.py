@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 11: lock contention vs CPU count.
+
+Runs Multpgm on 1-8 CPU machines; by far the most expensive exhibit.
+"""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_figure11(benchmark, ctx):
+    exhibit = run_exhibit(benchmark, ctx, "figure11")
+    assert exhibit.rows

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 2: OS operation frequencies in Multpgm."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_figure2(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "figure2")
+    assert exhibit.rows

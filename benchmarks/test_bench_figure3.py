@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 3: per-invocation miss/cycle distributions (Pmake)."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_figure3(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "figure3")
+    assert exhibit.rows

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 4: OS instruction-miss classification."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_figure4(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "figure4")
+    assert exhibit.rows

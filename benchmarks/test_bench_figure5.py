@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 5: self-interference I-misses by routine (Pmake)."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_figure5(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "figure5")
+    assert exhibit.rows

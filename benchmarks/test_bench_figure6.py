@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 6: I-cache size/associativity sweep."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_figure6(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "figure6")
+    assert exhibit.rows

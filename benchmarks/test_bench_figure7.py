@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 7: OS data-miss classification."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_figure7(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "figure7")
+    assert exhibit.rows

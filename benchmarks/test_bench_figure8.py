@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 8: Sharing misses by kernel data structure."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_figure8(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "figure8")
+    assert exhibit.rows

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Figure 9: OS misses by high-level operation."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_figure9(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "figure9")
+    assert exhibit.rows

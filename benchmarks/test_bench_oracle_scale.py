@@ -1,0 +1,9 @@
+"""Benchmark regenerating the Section 3 footnote: scaled vs
+standard-sized TP1 have qualitatively the same OS miss profile."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_oracle_scale(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "oracle-scale")
+    assert exhibit.rows

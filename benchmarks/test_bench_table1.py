@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 1: workload characteristics (time split, miss shares, stall fractions)."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table1(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table1")
+    assert exhibit.rows

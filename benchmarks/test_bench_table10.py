@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 10: synchronization stall, sync bus vs cached RMW."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table10(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table10")
+    assert exhibit.rows

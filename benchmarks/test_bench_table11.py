@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 11: kernel lock inventory."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table11(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table11")
+    assert exhibit.rows

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 12: per-lock statistics in Pmake."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table12(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table12")
+    assert exhibit.rows

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 2: the miss-class taxonomy, observed end to end."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table2(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table2")
+    assert exhibit.rows

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 3: kernel structure inventory at paper sizes."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table3(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table3")
+    assert exhibit.rows

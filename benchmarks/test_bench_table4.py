@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 4: process-migration misses and stall."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table4(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table4")
+    assert exhibit.rows

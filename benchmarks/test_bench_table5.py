@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 5: migration misses by operation."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table5(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table5")
+    assert exhibit.rows

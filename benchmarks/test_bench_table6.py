@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 6: block-operation misses and stall."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table6(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table6")
+    assert exhibit.rows

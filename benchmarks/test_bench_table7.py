@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 7: copied/cleared block size distribution (Pmake)."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table7(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table7")
+    assert exhibit.rows

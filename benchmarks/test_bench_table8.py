@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 8: high-level OS operation vocabulary."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table8(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table8")
+    assert exhibit.rows

@@ -1,0 +1,8 @@
+"""Benchmark regenerating Table 9: OS miss stall decomposition."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_table9(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "table9")
+    assert exhibit.rows

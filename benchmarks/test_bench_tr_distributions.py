@@ -1,0 +1,9 @@
+"""Benchmark regenerating the companion report's per-invocation
+distributions for all three workloads."""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_tr_distributions(benchmark, warm_ctx):
+    exhibit = run_exhibit(benchmark, warm_ctx, "tr-distributions")
+    assert exhibit.rows

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Cache design study: replay a workload's I-miss stream against
+alternative I-cache designs (the Figure 6 methodology as a tool).
+
+Shows the paper's trick in library form: because the machine's caches
+are direct mapped and physically addressed, the recorded miss stream of
+the real machine is enough to simulate any larger or more associative
+cache exactly — no re-run needed.
+
+Run:  python examples/cache_design_study.py [workload]
+"""
+
+import sys
+
+from repro import analyze_trace, run_traced_workload
+from repro.analysis.sweeps import simulate_icache_sweep
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "pmake"
+    run = run_traced_workload(workload, horizon_ms=40.0, warmup_ms=300.0,
+                              seed=3)
+    analysis = analyze_trace(run).analysis
+    stream = analysis.imiss_stream
+    print(f"{workload}: replaying {len(stream):,} instruction misses "
+          "against candidate caches")
+
+    points = simulate_icache_sweep(
+        stream, run.params.num_cpus,
+        sizes=(64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024),
+        associativities=(1, 2),
+    )
+    base = next(p for p in points
+                if p.size_bytes == 64 * 1024 and p.associativity == 1)
+
+    print()
+    print(f"{'size':>8s} {'assoc':>6s} {'OS misses':>11s} "
+          f"{'relative':>9s} {'inval floor':>12s}")
+    for point in sorted(points, key=lambda p: (p.associativity, p.size_bytes)):
+        rel = point.os_misses / base.os_misses if base.os_misses else 0.0
+        inval = (point.os_inval_misses / base.os_misses
+                 if base.os_misses else 0.0)
+        print(f"{point.size_bytes // 1024:>6d}KB {point.associativity:>6d} "
+              f"{point.os_misses:>11,} {rel:>9.3f} "
+              f"{inval:>12.3f}")
+    print()
+    print("the direct-mapped curve flattens against the invalidation floor "
+          "(Figure 6); two-way associativity removes the conflict misses")
+
+
+if __name__ == "__main__":
+    main()

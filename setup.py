@@ -1,0 +1,7 @@
+"""Shim so `pip install -e .` works without the `wheel` package installed
+(this environment is offline; setuptools<70 cannot build PEP 660 editable
+wheels without it). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

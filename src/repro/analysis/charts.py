@@ -1,0 +1,112 @@
+"""ASCII chart rendering for the figure experiments.
+
+The paper's figures are bar charts, address profiles and line series;
+these helpers render terminal equivalents so
+``python -m repro.experiments run figure8 --charts`` can actually draw
+the figure it reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_FULL = "█"
+_PART = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, max_value: float, width: int) -> str:
+    if max_value <= 0:
+        return ""
+    scaled = value / max_value * width
+    whole = int(scaled)
+    frac = int((scaled - whole) * len(_PART))
+    return _FULL * whole + (_PART[frac] if whole < width else "")
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not items:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label, _v in items)
+    max_value = max(value for _l, value in items)
+    for label, value in items:
+        bar = _bar(value, max_value, width)
+        lines.append(f"  {label:<{label_width}} |{bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_labels: Sequence,
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 44,
+    unit: str = "",
+) -> str:
+    """Several named series over a shared X axis, bars per point."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    flat = [v for values in series.values() for v in values]
+    if not flat:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    max_value = max(flat) or 1.0
+    x_width = max(len(str(x)) for x in x_labels)
+    for name, values in series.items():
+        lines.append(f"  {name}:")
+        for x, value in zip(x_labels, values):
+            bar = _bar(value, max_value, width)
+            lines.append(f"    {str(x):>{x_width}} |{bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def profile_chart(
+    buckets: Sequence[Tuple[int, int]],
+    bucket_bytes: int,
+    region_bytes: int,
+    title: str = "",
+    height: int = 8,
+) -> str:
+    """Figure 5 style: misses vs address, X in multiples of a region.
+
+    ``buckets`` are (bucket index, count) pairs; the X axis is folded to
+    show absolute position with region boundaries marked.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not buckets:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    max_bucket = max(index for index, _c in buckets)
+    counts = [0] * (max_bucket + 1)
+    for index, count in buckets:
+        counts[index] = count
+    peak = max(counts) or 1
+    # Vertical bars, `height` rows tall.
+    for row in range(height, 0, -1):
+        threshold = peak * row / height
+        cells = "".join(
+            _FULL if count >= threshold else " " for count in counts
+        )
+        lines.append(f"  {cells}")
+    # Region boundary ruler.
+    per_region = region_bytes // bucket_bytes
+    ruler = "".join(
+        "|" if (i % per_region) == 0 else "-" for i in range(len(counts))
+    )
+    lines.append(f"  {ruler}")
+    lines.append(
+        f"  one column = {bucket_bytes} B; '|' marks every "
+        f"{region_bytes // 1024} KB (the I-cache image size)"
+    )
+    return "\n".join(lines)

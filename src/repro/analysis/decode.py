@@ -1,0 +1,473 @@
+"""Single-pass trace analysis: the paper's postprocessing program.
+
+Consumes nothing but what the hardware monitor recorded — bus
+transactions with (60 ns tick, CPU id, physical address, read/write/
+uncached kind) — and rebuilds everything the paper reports:
+
+- escape decoding (Section 2.2): OS entries/exits, running pids, TLB
+  changes (physical→virtual page typing), I-cache flushes, block
+  operations, interrupts;
+- cache-content reconstruction (the caches are direct mapped and
+  physically addressed, so the fill sequence determines the contents);
+- Table 2 miss classification, including Dispossame;
+- attribution of data misses to kernel structures (Figure 8, Tables 4/6)
+  and instruction misses to routines (Figure 5);
+- functional attribution to the Table 8 operation vocabulary (Figures
+  2/9);
+- OS-invocation segmentation (Figures 1/3) and UTLB fault accounting;
+- user/system/idle time accounting from the escape timestamps (Table 1).
+
+Statistics are accumulated only inside the measurement window
+(``stats_from_tick``); everything before it still drives the
+reconstruction, mirroring the paper's tracing of a long-running system.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.types import MissClass, RefDomain
+from repro.kernel.blockops import KIND_NAMES
+from repro.kernel.kernel import CODE_OP
+from repro.kernel.layout import KernelLayout
+from repro.kernel.structures import KernelDataMap, StructName
+from repro.kernel.tlbfault import UTLB_OP_CODE
+from repro.common.types import InterruptKind
+from repro.memsys.memory import KTEXT_BASE, KTEXT_SIZE
+from repro.monitor.escapes import (
+    EventType,
+    PAYLOAD_COUNT,
+    decode_payload,
+    signal_event,
+)
+from repro.monitor.hwmonitor import OP_UNCACHED, OP_WRITE, Trace
+from repro.analysis.reconstruct import CpuReconstruction
+
+_KTEXT_END = KTEXT_BASE + KTEXT_SIZE
+_INSTR = "I"
+_DATA = "D"
+
+_INTR_KINDS = list(InterruptKind)
+
+# Figure 5's X-axis granularity: address buckets of 1 KB.
+FIG5_BUCKET_BYTES = 1024
+
+
+@dataclass
+class OsInvocation:
+    """One OS invocation (Figure 1/3 unit)."""
+
+    op: str
+    start_tick: int
+    duration_ticks: int
+    imisses: int
+    dmisses: int
+
+
+@dataclass
+class AppInterval:
+    """One application invocation between OS invocations (Figure 1)."""
+
+    duration_ticks: int
+    imisses: int
+    dmisses: int
+    utlb_faults: int
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything extracted from one trace."""
+
+    workload: str
+    num_cpus: int
+    measured_ticks: int = 0
+    # Time split (ticks) per mode, summed over CPUs.
+    user_ticks: int = 0
+    sys_ticks: int = 0
+    idle_ticks: int = 0
+    # Misses: (domain, 'I'/'D', MissClass) -> count.
+    miss_counts: Counter = field(default_factory=Counter)
+    dispossame: Counter = field(default_factory=Counter)  # (domain, kind)
+    upgrades: int = 0          # bus ownership upgrades (stall, not misses)
+    escape_reads: int = 0      # instrumentation bus traffic
+    # Attribution.
+    sharing_by_struct: Counter = field(default_factory=Counter)
+    dmiss_by_struct_class: Counter = field(default_factory=Counter)
+    imiss_dispos_by_routine: Counter = field(default_factory=Counter)
+    imiss_dispos_addr_hist: Counter = field(default_factory=Counter)
+    # All OS I-misses per routine (any class): the heat profile the
+    # code-layout optimizer consumes.
+    imiss_by_routine: Counter = field(default_factory=Counter)
+    # Functional attribution: (op_label, kind) -> misses; op_label counts.
+    op_misses: Counter = field(default_factory=Counter)
+    op_counts: Counter = field(default_factory=Counter)
+    # Block operations.
+    blockop_misses: Counter = field(default_factory=Counter)   # kind -> D misses
+    blockop_log: List[Tuple[str, int]] = field(default_factory=list)
+    # Migration misses by operation (Table 5): Sharing misses on the
+    # per-process structures, bucketed by the operation that touches
+    # them — Eframe <-> low-level exception handling, PCB/Run Queue <->
+    # run-queue management, user-structure body inside an I/O system
+    # call <-> read/write recognition & setup.
+    migration_op_misses: Counter = field(default_factory=Counter)
+    # Invocation structure.
+    invocations: List[OsInvocation] = field(default_factory=list)
+    app_intervals: List[AppInterval] = field(default_factory=list)
+    utlb_count: int = 0
+    utlb_ticks: int = 0
+    utlb_misses: int = 0
+    # The OS-induced application misses (Figure 10).
+    ap_dispos: Counter = field(default_factory=Counter)  # kind -> count
+    # I-miss stream for the Figure 6 re-simulation:
+    # (cpu, block, domain_is_os, in_window); cpu == -1 marks a full flush.
+    imiss_stream: List[Tuple[int, int, bool, bool]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Convenience queries
+    # ------------------------------------------------------------------
+    def total_misses(self, domain: Optional[RefDomain] = None) -> int:
+        return sum(
+            count for (dom, _k, _c), count in self.miss_counts.items()
+            if domain is None or dom is domain
+        )
+
+    def class_counts(
+        self, domain: Optional[RefDomain] = None, kind: Optional[str] = None
+    ) -> Counter:
+        out: Counter = Counter()
+        for (dom, knd, cls), count in self.miss_counts.items():
+            if domain is not None and dom is not domain:
+                continue
+            if kind is not None and knd != kind:
+                continue
+            out[cls] += count
+        return out
+
+    def non_idle_ticks(self) -> int:
+        return self.user_ticks + self.sys_ticks
+
+
+class _CpuState:
+    """Decoder state for one CPU."""
+
+    __slots__ = (
+        "os_depth", "idle", "pid", "op_stack", "blockop", "pending",
+        "last_tick", "state", "inv_start", "inv_imiss", "inv_dmiss",
+        "inv_is_utlb", "app_start", "app_imiss", "app_dmiss", "app_utlb",
+        "intr_depth",
+    )
+
+    def __init__(self) -> None:
+        self.os_depth = 0
+        self.idle = False
+        self.pid = 0
+        self.op_stack: List[str] = []
+        self.blockop: Optional[str] = None
+        self.pending: Optional[Tuple[EventType, int, List[int]]] = None
+        self.last_tick = 0
+        self.state = "user"
+        self.inv_start = -1
+        self.inv_imiss = 0
+        self.inv_dmiss = 0
+        self.inv_is_utlb = False
+        self.app_start = -1
+        self.app_imiss = 0
+        self.app_dmiss = 0
+        self.app_utlb = 0
+        self.intr_depth = 0
+
+    def mode(self) -> str:
+        if self.idle:
+            return "idle"
+        if self.os_depth > 0:
+            return "os"
+        return "user"
+
+
+def _op_label(code: int) -> str:
+    if code == UTLB_OP_CODE:
+        return "utlb"
+    return CODE_OP[code].value
+
+
+class TraceAnalyzer:
+    """The postprocessor."""
+
+    def __init__(
+        self,
+        workload: str,
+        num_cpus: int,
+        icache_bytes: int,
+        dcache_bytes: int,
+        layout: Optional[KernelLayout] = None,
+        datamap: Optional[KernelDataMap] = None,
+        block_bytes: int = 16,
+        keep_imiss_stream: bool = True,
+    ):
+        self.layout = layout if layout is not None else KernelLayout()
+        self.datamap = datamap if datamap is not None else KernelDataMap()
+        self.block_bytes = block_bytes
+        self.keep_imiss_stream = keep_imiss_stream
+        self.result = TraceAnalysis(workload, num_cpus)
+        self._cpus = [_CpuState() for _ in range(num_cpus)]
+        self._recons = [
+            CpuReconstruction(icache_bytes, dcache_bytes, block_bytes)
+            for _ in range(num_cpus)
+        ]
+        self._frame_is_text: Dict[int, bool] = {}
+        self._window_start = 0
+        self._end_tick = 0
+
+    # ------------------------------------------------------------------
+    def analyze(self, trace: Trace, stats_from_tick: int = 0) -> TraceAnalysis:
+        self._window_start = stats_from_tick
+        for segment in trace.segments:
+            for entry in segment.entries:
+                if entry[3] == OP_UNCACHED:
+                    self._escape(entry)
+                else:
+                    self._reference(entry)
+            self._end_tick = max(self._end_tick, segment.end_cycles // 2)
+        # Flush trailing time.
+        for cpu_state in self._cpus:
+            self._account_time(cpu_state, self._end_tick)
+        self.result.measured_ticks = max(0, self._end_tick - stats_from_tick)
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Time accounting
+    # ------------------------------------------------------------------
+    def _account_time(self, cpu_state: _CpuState, now_tick: int) -> None:
+        start = max(cpu_state.last_tick, self._window_start)
+        span = now_tick - start
+        if span > 0:
+            if cpu_state.state == "user":
+                self.result.user_ticks += span
+            elif cpu_state.state == "os":
+                self.result.sys_ticks += span
+            else:
+                self.result.idle_ticks += span
+        cpu_state.last_tick = max(cpu_state.last_tick, now_tick)
+        cpu_state.state = cpu_state.mode()
+
+    # ------------------------------------------------------------------
+    # Escape events
+    # ------------------------------------------------------------------
+    def _escape(self, entry) -> None:
+        tick, cpu, addr, _op = entry
+        if tick >= self._window_start:
+            self.result.escape_reads += 1
+        cpu_state = self._cpus[cpu]
+        pending = cpu_state.pending
+        if pending is None:
+            event = signal_event(addr)
+            if event is None:
+                raise ValueError(
+                    f"stray uncached read {addr:#x} by CPU {cpu}: not an escape signal"
+                )
+            if PAYLOAD_COUNT[event] == 0:
+                self._event(tick, cpu, event, ())
+            else:
+                cpu_state.pending = (event, tick, [])
+            return
+        event, start_tick, payloads = pending
+        payloads.append(decode_payload(addr))
+        if len(payloads) == PAYLOAD_COUNT[event]:
+            cpu_state.pending = None
+            self._event(start_tick, cpu, event, tuple(payloads))
+
+    def _event(self, tick: int, cpu: int, event: EventType, payloads) -> None:
+        cpu_state = self._cpus[cpu]
+        result = self.result
+        in_window = tick >= self._window_start
+        if event is EventType.OS_ENTER:
+            self._account_time(cpu_state, tick)
+            label = _op_label(payloads[0])
+            cpu_state.op_stack.append(label)
+            cpu_state.os_depth += 1
+            if in_window:
+                result.op_counts[label] += 1
+            if cpu_state.os_depth == 1:
+                # Close the application interval (UTLB spikes don't).
+                if label == "utlb":
+                    cpu_state.app_utlb += 1
+                    cpu_state.inv_is_utlb = True
+                else:
+                    self._close_app_interval(cpu_state, tick)
+                    cpu_state.inv_is_utlb = False
+                cpu_state.inv_start = tick
+                cpu_state.inv_imiss = 0
+                cpu_state.inv_dmiss = 0
+            cpu_state.state = cpu_state.mode()
+        elif event is EventType.OS_EXIT:
+            self._account_time(cpu_state, tick)
+            label = cpu_state.op_stack.pop() if cpu_state.op_stack else "?"
+            cpu_state.os_depth = max(0, cpu_state.os_depth - 1)
+            if cpu_state.os_depth == 0:
+                started_in_window = cpu_state.inv_start >= self._window_start
+                if cpu_state.inv_is_utlb:
+                    if started_in_window:
+                        result.utlb_count += 1
+                        result.utlb_ticks += tick - cpu_state.inv_start
+                        result.utlb_misses += (
+                            cpu_state.inv_imiss + cpu_state.inv_dmiss
+                        )
+                else:
+                    if started_in_window:
+                        result.invocations.append(
+                            OsInvocation(
+                                label,
+                                cpu_state.inv_start,
+                                tick - cpu_state.inv_start,
+                                cpu_state.inv_imiss,
+                                cpu_state.inv_dmiss,
+                            )
+                        )
+                    # A fresh application interval begins.
+                    cpu_state.app_start = tick
+                    cpu_state.app_imiss = 0
+                    cpu_state.app_dmiss = 0
+                    cpu_state.app_utlb = 0
+                if cpu_state.pid:
+                    self._recons[cpu].app_epoch += 1
+            cpu_state.state = cpu_state.mode()
+        elif event is EventType.IDLE_ENTER:
+            self._account_time(cpu_state, tick)
+            cpu_state.idle = True
+            cpu_state.state = "idle"
+        elif event is EventType.IDLE_EXIT:
+            self._account_time(cpu_state, tick)
+            cpu_state.idle = False
+            cpu_state.state = cpu_state.mode()
+        elif event is EventType.PID_SET:
+            cpu_state.pid = payloads[0]
+        elif event is EventType.TLB_UPDATE:
+            _index, _vpage, frame, pid_text = payloads
+            self._frame_is_text[frame] = bool(pid_text & 1)
+        elif event is EventType.ICACHE_FLUSH:
+            for recon in self._recons:
+                recon.icache.invalidate_all()
+            if self.keep_imiss_stream:
+                result.imiss_stream.append((-1, 0, False, False))
+        elif event is EventType.BLOCKOP_BEGIN:
+            kind_code, _first, count = payloads
+            kind = KIND_NAMES.get(kind_code, "?")
+            cpu_state.blockop = kind
+            if in_window:
+                result.blockop_log.append((kind, count * self.block_bytes))
+        elif event is EventType.BLOCKOP_END:
+            cpu_state.blockop = None
+        elif event is EventType.INTR_ENTER:
+            kind = _INTR_KINDS[payloads[0]]
+            cpu_state.intr_depth += 1
+            if in_window:
+                result.op_counts[f"intr_{kind.value}"] += 1
+        elif event is EventType.INTR_EXIT:
+            cpu_state.intr_depth = max(0, cpu_state.intr_depth - 1)
+        # TRACE_START needs no action.
+
+    def _close_app_interval(self, cpu_state: _CpuState, tick: int) -> None:
+        if cpu_state.app_start >= self._window_start and not cpu_state.idle:
+            self.result.app_intervals.append(
+                AppInterval(
+                    tick - cpu_state.app_start,
+                    cpu_state.app_imiss,
+                    cpu_state.app_dmiss,
+                    cpu_state.app_utlb,
+                )
+            )
+        cpu_state.app_start = -1
+
+    # ------------------------------------------------------------------
+    # Cacheable references (the miss stream)
+    # ------------------------------------------------------------------
+    def _reference(self, entry) -> None:
+        tick, cpu, addr, op = entry
+        cpu_state = self._cpus[cpu]
+        recon = self._recons[cpu]
+        result = self.result
+        in_window = tick >= self._window_start
+        block = addr // self.block_bytes
+        is_instr = self._is_instr(addr)
+        domain = (
+            RefDomain.OS
+            if (cpu_state.os_depth > 0 or cpu_state.idle)
+            else RefDomain.APP
+        )
+        if op == OP_WRITE:
+            # Write-invalidate coherence: every other copy dies.
+            for other, other_recon in enumerate(self._recons):
+                if other != cpu:
+                    other_recon.dcache.invalidate(block)
+            if recon.dcache.resident(block):
+                # Ownership upgrade, not a miss.
+                if in_window:
+                    result.upgrades += 1
+                return
+        cache = recon.icache if is_instr else recon.dcache
+        miss_class, dispossame = cache.classify_fill(
+            block, domain, recon.app_epoch
+        )
+        if is_instr and miss_class is MissClass.SHARING:
+            miss_class = MissClass.INVAL
+        kind = _INSTR if is_instr else _DATA
+        if is_instr and self.keep_imiss_stream:
+            result.imiss_stream.append(
+                (cpu, block, domain is RefDomain.OS, in_window)
+            )
+        # Per-invocation counters (window filtering happens at close).
+        if domain is RefDomain.OS:
+            if is_instr:
+                cpu_state.inv_imiss += 1
+            else:
+                cpu_state.inv_dmiss += 1
+        else:
+            if is_instr:
+                cpu_state.app_imiss += 1
+            else:
+                cpu_state.app_dmiss += 1
+        if not in_window:
+            return
+        result.miss_counts[(domain, kind, miss_class)] += 1
+        if dispossame:
+            result.dispossame[(domain, kind)] += 1
+        # Functional attribution (innermost op label).
+        if domain is RefDomain.OS and cpu_state.op_stack:
+            result.op_misses[(cpu_state.op_stack[-1], kind)] += 1
+        # Structure / routine attribution.
+        if domain is RefDomain.OS:
+            if is_instr:
+                routine_name = self.layout.routine_at(addr)
+                if routine_name is not None:
+                    result.imiss_by_routine[routine_name] += 1
+                if miss_class is MissClass.DISPOS:
+                    if routine_name is not None:
+                        result.imiss_dispos_by_routine[routine_name] += 1
+                    result.imiss_dispos_addr_hist[addr // FIG5_BUCKET_BYTES] += 1
+            else:
+                struct = self.datamap.structure_at(addr)
+                result.dmiss_by_struct_class[(struct, miss_class)] += 1
+                if miss_class is MissClass.SHARING:
+                    result.sharing_by_struct[struct] += 1
+                    if struct is StructName.EFRAME:
+                        result.migration_op_misses["low_level_exception"] += 1
+                    elif struct in (StructName.PCB, StructName.RUN_QUEUE):
+                        result.migration_op_misses["run_queue_mgmt"] += 1
+                    elif (
+                        struct is StructName.USTRUCT_REST
+                        and cpu_state.op_stack
+                        and cpu_state.op_stack[-1] == "io_syscall"
+                    ):
+                        result.migration_op_misses["rw_setup"] += 1
+                if cpu_state.blockop is not None:
+                    result.blockop_misses[cpu_state.blockop] += 1
+        else:
+            if miss_class is MissClass.DISPOS:
+                result.ap_dispos[kind] += 1
+
+    def _is_instr(self, addr: int) -> bool:
+        if addr < _KTEXT_END:
+            return True
+        return self._frame_is_text.get(addr >> 12, False)

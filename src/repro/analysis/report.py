@@ -1,0 +1,125 @@
+"""Derived metrics: Table 1-style rollups from a trace analysis.
+
+The stall model is the paper's (Section 3.1): every bus access stalls
+the issuing CPU for 35 cycles, and stall time is compared against
+non-idle execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.types import MissClass, RefDomain
+from repro.analysis.decode import TraceAnalysis, TraceAnalyzer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.session import TracedRun
+
+# Monitor ticks are 60 ns = 2 processor cycles.
+CYCLES_PER_TICK = 2
+
+
+@dataclass
+class AnalysisReport:
+    """Table 1 style summary of one traced run."""
+
+    analysis: TraceAnalysis
+    bus_stall_cycles: int = 35
+
+    # ------------------------------------------------------------------
+    # Execution-time split (Table 1 columns 2-4)
+    # ------------------------------------------------------------------
+    @property
+    def user_pct(self) -> float:
+        return self._time_pct(self.analysis.user_ticks)
+
+    @property
+    def sys_pct(self) -> float:
+        return self._time_pct(self.analysis.sys_ticks)
+
+    @property
+    def idle_pct(self) -> float:
+        return self._time_pct(self.analysis.idle_ticks)
+
+    def _time_pct(self, ticks: int) -> float:
+        total = (
+            self.analysis.user_ticks
+            + self.analysis.sys_ticks
+            + self.analysis.idle_ticks
+        )
+        return 100.0 * ticks / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Miss shares (Table 1 column 5)
+    # ------------------------------------------------------------------
+    @property
+    def os_miss_fraction_pct(self) -> float:
+        total = self.analysis.total_misses()
+        if not total:
+            return 0.0
+        return 100.0 * self.analysis.total_misses(RefDomain.OS) / total
+
+    # ------------------------------------------------------------------
+    # Stall fractions (Table 1 columns 6-8)
+    # ------------------------------------------------------------------
+    def _stall_pct(self, misses: int) -> float:
+        non_idle_cycles = self.analysis.non_idle_ticks() * CYCLES_PER_TICK
+        if not non_idle_cycles:
+            return 0.0
+        return 100.0 * misses * self.bus_stall_cycles / non_idle_cycles
+
+    @property
+    def total_stall_pct(self) -> float:
+        """Application + OS miss stall / non-idle time."""
+        return self._stall_pct(self.analysis.total_misses())
+
+    @property
+    def os_stall_pct(self) -> float:
+        """OS miss stall / non-idle time."""
+        return self._stall_pct(self.analysis.total_misses(RefDomain.OS))
+
+    @property
+    def os_plus_induced_stall_pct(self) -> float:
+        """OS misses plus the application misses the OS induced
+        (Ap_dispos) / non-idle time."""
+        induced = sum(self.analysis.ap_dispos.values())
+        return self._stall_pct(self.analysis.total_misses(RefDomain.OS) + induced)
+
+    def stall_pct_for(self, misses: int) -> float:
+        """Stall fraction for an arbitrary miss count (component rows)."""
+        return self._stall_pct(misses)
+
+    # ------------------------------------------------------------------
+    # OS miss class shares normalized to 100 (Figures 4/7 convention)
+    # ------------------------------------------------------------------
+    def os_class_share_pct(self, kind: str, miss_class: MissClass) -> float:
+        total = self.analysis.total_misses(RefDomain.OS)
+        if not total:
+            return 0.0
+        count = self.analysis.miss_counts.get(
+            (RefDomain.OS, kind, miss_class), 0
+        )
+        return 100.0 * count / total
+
+
+def analyze_trace(
+    run: "TracedRun",
+    keep_imiss_stream: bool = True,
+) -> AnalysisReport:
+    """Run the full postprocessing pipeline on a traced run."""
+    params = run.params
+    analyzer = TraceAnalyzer(
+        run.workload_name,
+        params.num_cpus,
+        icache_bytes=params.icache.size_bytes,
+        dcache_bytes=params.dcache_l2.size_bytes,
+        layout=run.kernel.layout,
+        datamap=run.kernel.datamap,
+        block_bytes=params.block_bytes,
+        keep_imiss_stream=keep_imiss_stream,
+    )
+    analysis = analyzer.analyze(
+        run.trace, stats_from_tick=run.measure_from_cycles // CYCLES_PER_TICK
+    )
+    return AnalysisReport(analysis, bus_stall_cycles=params.bus_stall_cycles)

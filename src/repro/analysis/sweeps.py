@@ -1,0 +1,107 @@
+"""Cache what-if sweeps: the Figure 6 methodology.
+
+"In our simulations, we use the references that miss in the caches of
+the real machine to simulate larger caches." Because the real caches are
+direct mapped, any cache at least as large with at least the same
+associativity contains a superset of the blocks — so replaying the miss
+stream through a bigger/more associative cache yields its exact miss
+stream. Announced I-cache flushes are replayed too, which is what lets
+the sweep expose the *Inval* floor ("the figure assumes that the
+algorithm used to invalidate caches does not change as caches increase
+in size").
+
+"Note that both application and OS instruction traces are simulated,
+although only OS misses are plotted in the figure."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.common.params import CacheGeometry
+from repro.memsys.cache import Cache
+
+# Stream element: (cpu, block, domain_is_os, in_window); cpu == -1 is a
+# full-flush marker (see TraceAnalysis.imiss_stream).
+StreamEntry = Tuple[int, int, bool, bool]
+
+FLUSH_CPU = -1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Result of replaying the I-miss stream against one configuration."""
+
+    size_bytes: int
+    associativity: int
+    os_misses: int
+    os_inval_misses: int
+    app_misses: int
+
+    @property
+    def total_misses(self) -> int:
+        return self.os_misses + self.app_misses
+
+
+def simulate_icache_config(
+    stream: Sequence[StreamEntry],
+    num_cpus: int,
+    size_bytes: int,
+    associativity: int = 1,
+    block_bytes: int = 16,
+) -> SweepPoint:
+    """Replay the miss stream through one I-cache configuration."""
+    geometry = CacheGeometry(size_bytes, block_bytes, associativity)
+    caches = [Cache(geometry) for _ in range(num_cpus)]
+    invalidated: List[set] = [set() for _ in range(num_cpus)]
+    os_misses = 0
+    os_inval = 0
+    app_misses = 0
+    for cpu, block, is_os, in_window in stream:
+        if cpu == FLUSH_CPU:
+            for i, cache in enumerate(caches):
+                invalidated[i].update(cache.invalidate_all())
+            continue
+        cache = caches[cpu]
+        if cache.lookup(block):
+            cache.access(block)  # LRU refresh; a hit in the bigger cache
+            continue
+        cache.access(block)
+        if not in_window:
+            invalidated[cpu].discard(block)
+            continue
+        if is_os:
+            os_misses += 1
+            if block in invalidated[cpu]:
+                os_inval += 1
+        else:
+            app_misses += 1
+        invalidated[cpu].discard(block)
+    return SweepPoint(size_bytes, associativity, os_misses, os_inval, app_misses)
+
+
+def simulate_icache_sweep(
+    stream: Sequence[StreamEntry],
+    num_cpus: int,
+    sizes: Iterable[int] = (64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024,
+                            1024 * 1024),
+    associativities: Iterable[int] = (1, 2),
+    block_bytes: int = 16,
+) -> List[SweepPoint]:
+    """The Figure 6 grid.
+
+    A two-way cache of the base size (64 KB) cannot be simulated from the
+    miss stream of a direct-mapped 64 KB cache (the paper notes the same
+    limitation), so that point is skipped.
+    """
+    base_size = 64 * 1024
+    points = []
+    for assoc in associativities:
+        for size in sizes:
+            if assoc > 1 and size <= base_size:
+                continue  # not derivable from the base machine's misses
+            points.append(
+                simulate_icache_config(stream, num_cpus, size, assoc, block_bytes)
+            )
+    return points

@@ -1,0 +1,31 @@
+"""Shared machine parameters, typed enums and address arithmetic."""
+
+from repro.common.params import MachineParams
+from repro.common.types import (
+    AccessKind,
+    HighLevelOp,
+    MissClass,
+    Mode,
+    RefDomain,
+)
+from repro.common.addr import (
+    block_of,
+    block_base,
+    blocks_in_range,
+    page_of,
+    page_base,
+)
+
+__all__ = [
+    "MachineParams",
+    "AccessKind",
+    "HighLevelOp",
+    "MissClass",
+    "Mode",
+    "RefDomain",
+    "block_of",
+    "block_base",
+    "blocks_in_range",
+    "page_of",
+    "page_base",
+]

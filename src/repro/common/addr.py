@@ -1,0 +1,55 @@
+"""Address arithmetic helpers.
+
+The machine uses 16-byte cache blocks and 4 Kbyte pages everywhere, but all
+helpers take the granularity as an argument so the cache-sweep experiments
+(Figure 6) can reuse them for other geometries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+BLOCK_BYTES = 16
+BLOCK_SHIFT = 4
+PAGE_BYTES = 4096
+PAGE_SHIFT = 12
+
+
+def block_of(addr: int, block_bytes: int = BLOCK_BYTES) -> int:
+    """Block number containing ``addr``."""
+    return addr // block_bytes
+
+
+def block_base(block: int, block_bytes: int = BLOCK_BYTES) -> int:
+    """First byte address of ``block``."""
+    return block * block_bytes
+
+
+def page_of(addr: int, page_bytes: int = PAGE_BYTES) -> int:
+    """Page number containing ``addr``."""
+    return addr // page_bytes
+
+
+def page_base(page: int, page_bytes: int = PAGE_BYTES) -> int:
+    """First byte address of ``page``."""
+    return page * page_bytes
+
+
+def blocks_in_range(
+    base: int, size: int, block_bytes: int = BLOCK_BYTES
+) -> Iterator[int]:
+    """Iterate over block numbers overlapping ``[base, base + size)``."""
+    if size <= 0:
+        return
+    first = base // block_bytes
+    last = (base + size - 1) // block_bytes
+    for block in range(first, last + 1):
+        yield block
+
+
+def align_down(addr: int, granularity: int) -> int:
+    return addr - (addr % granularity)
+
+
+def align_up(addr: int, granularity: int) -> int:
+    return -(-addr // granularity) * granularity

@@ -1,0 +1,93 @@
+"""Machine parameters of the modelled SGI POWER Station 4D/340.
+
+All geometry and latency constants come straight from Section 2.1 of the
+paper:
+
+- four 33 MHz MIPS R3000 CPUs (30 ns processor cycles),
+- per CPU a 64 Kbyte instruction cache and a two-level data cache
+  (64 Kbyte first level, 256 Kbyte second level),
+- all caches physically addressed, direct mapped, 16 byte blocks,
+- 32 Mbytes of main memory,
+- a bus access stalls the CPU for 35 cycles (the paper's stall estimate),
+- a first-level data miss that hits in the second level stalls ~15 cycles,
+- the hardware monitor timestamps bus transactions at 60 ns granularity,
+- the monitor's trace buffer holds over 2 million transactions,
+- each CPU has a 64-entry fully-associative TLB and 4 Kbyte pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/shape of one cache."""
+
+    size_bytes: int
+    block_bytes: int = 16
+    associativity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if self.size_bytes % (self.block_bytes * self.associativity):
+            raise ValueError(
+                "cache size must be a multiple of block size x associativity"
+            )
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_blocks // self.associativity
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Complete machine description; defaults model the 4D/340."""
+
+    num_cpus: int = 4
+    cycle_ns: float = 30.0          # 33 MHz R3000
+    icache: CacheGeometry = field(default_factory=lambda: CacheGeometry(64 * 1024))
+    dcache_l1: CacheGeometry = field(default_factory=lambda: CacheGeometry(64 * 1024))
+    dcache_l2: CacheGeometry = field(default_factory=lambda: CacheGeometry(256 * 1024))
+    memory_bytes: int = 32 * 1024 * 1024
+    page_bytes: int = 4096
+    tlb_entries: int = 64
+    bus_stall_cycles: int = 35      # paper Section 3.1 stall estimate
+    l2_hit_stall_cycles: int = 15   # L1 miss that hits in L2 (Section 3.1)
+    monitor_tick_ns: float = 60.0   # monitor timestamp granularity
+    trace_buffer_entries: int = 2 * 1024 * 1024
+    clock_interrupt_ms: float = 10.0  # the OS clock period (Section 4.1)
+    spin_attempts_before_sginap: int = 20  # sync library behaviour (Table 8)
+
+    def __post_init__(self) -> None:
+        if self.num_cpus < 1:
+            raise ValueError("need at least one CPU")
+        if self.memory_bytes % self.page_bytes:
+            raise ValueError("memory must be a whole number of pages")
+        if self.icache.block_bytes != self.dcache_l1.block_bytes:
+            raise ValueError("this model assumes a single block size")
+
+    @property
+    def block_bytes(self) -> int:
+        return self.icache.block_bytes
+
+    @property
+    def num_pages(self) -> int:
+        return self.memory_bytes // self.page_bytes
+
+    def cycles_per_ms(self) -> float:
+        return 1e6 / self.cycle_ns
+
+    def ms_to_cycles(self, ms: float) -> int:
+        return int(round(ms * self.cycles_per_ms()))
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return cycles / self.cycles_per_ms()
+
+
+DEFAULT_PARAMS = MachineParams()

@@ -1,0 +1,88 @@
+"""Typed vocabulary used across the simulator and the analysis pipeline.
+
+The enums mirror the paper's own taxonomies:
+
+- :class:`MissClass` is Table 2 (architectural classification of OS misses),
+- :class:`HighLevelOp` is Table 8 (functional classification),
+- :class:`AccessKind` distinguishes the bus transaction kinds the hardware
+  monitor can observe.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(enum.Enum):
+    """What a CPU is executing."""
+
+    USER = "user"
+    KERNEL = "kernel"
+    IDLE = "idle"
+
+
+class RefDomain(enum.Enum):
+    """Who issued a memory reference — the OS or the application.
+
+    Idle-loop execution counts as OS code (the paper reports "OS in the
+    Idle Loop" separately in Figure 1) and is tracked through
+    :class:`Mode`, not here.
+    """
+
+    OS = "os"
+    APP = "app"
+
+
+class AccessKind(enum.Enum):
+    """Kind of memory access issued by a CPU."""
+
+    IFETCH = "ifetch"
+    DREAD = "dread"
+    DWRITE = "dwrite"
+    UNCACHED_READ = "uncached_read"   # escape references and PIO
+    SYNC = "sync"                     # diverted to the synchronization bus
+
+
+class MissClass(enum.Enum):
+    """Architectural classification of cache misses (paper Table 2)."""
+
+    COLD = "cold"          # processor's first access to the block
+    DISPOS = "dispos"      # displaced by an intervening OS reference
+    DISPAP = "dispap"      # displaced by an intervening application reference
+    SHARING = "sharing"    # D-misses from OS data shared/migrating among CPUs
+    INVAL = "inval"        # I-misses from I-cache invalidation on page reuse
+    UNCACHED = "uncached"  # accesses that bypass the caches
+
+    @property
+    def is_displacement(self) -> bool:
+        return self in (MissClass.DISPOS, MissClass.DISPAP)
+
+
+class HighLevelOp(enum.Enum):
+    """High-level OS operations (paper Table 8)."""
+
+    EXPENSIVE_TLB_FAULT = "expensive_tlb_fault"
+    CHEAP_TLB_FAULT = "cheap_tlb_fault"
+    IO_SYSCALL = "io_syscall"
+    SGINAP_SYSCALL = "sginap_syscall"
+    OTHER_SYSCALL = "other_syscall"
+    INTERRUPT = "interrupt"
+
+    @property
+    def is_syscall(self) -> bool:
+        return self in (
+            HighLevelOp.IO_SYSCALL,
+            HighLevelOp.SGINAP_SYSCALL,
+            HighLevelOp.OTHER_SYSCALL,
+        )
+
+
+class InterruptKind(enum.Enum):
+    """Interrupt sources modelled (paper Table 8: disk, terminal,
+    inter-CPU and clock interrupts)."""
+
+    CLOCK = "clock"
+    DISK = "disk"
+    TERMINAL = "terminal"
+    INTER_CPU = "inter_cpu"
+    NETWORK = "network"

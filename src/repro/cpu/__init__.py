@@ -1,0 +1,7 @@
+"""Processor-side models: the R3000's TLB and the per-CPU execution
+context through which all memory references are issued."""
+
+from repro.cpu.tlb import Tlb, TlbEntry
+from repro.cpu.processor import Processor
+
+__all__ = ["Tlb", "TlbEntry", "Processor"]

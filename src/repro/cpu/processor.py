@@ -1,0 +1,179 @@
+"""Per-CPU execution context.
+
+All memory references in the simulator — kernel and application alike —
+are issued through a :class:`Processor`, which
+
+- keeps the CPU's local cycle clock,
+- attributes elapsed cycles to user / system / idle time (the Table 1
+  execution-time split),
+- carries the classification context (who is executing: OS or
+  application, and the CPU's *application epoch* used to detect
+  ``Dispossame`` misses), and
+- charges the paper's stall costs for every miss the memory system
+  reports.
+
+References are issued at cache-block granularity: one instruction block
+(16 bytes = four R3000 instructions) costs four issue cycles, one data
+touch costs one cycle, and misses add the 35-cycle bus stall
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.params import MachineParams
+from repro.common.types import Mode, RefDomain
+from repro.cpu.tlb import Tlb
+from repro.memsys.system import MemorySystem
+
+# Issue cost of one fetched instruction block (4 instructions at ~1 CPI).
+IFETCH_ISSUE_CYCLES = 4
+# Issue cost of one data touch (the load/store itself).
+DTOUCH_ISSUE_CYCLES = 1
+
+
+class Processor:
+    """One CPU: clock, mode accounting and reference issue."""
+
+    def __init__(self, cpu_id: int, params: MachineParams, memsys: MemorySystem):
+        self.cpu_id = cpu_id
+        self.params = params
+        self.memsys = memsys
+        self.tlb = Tlb(params.tlb_entries)
+        self.cycles = 0
+        self.mode = Mode.IDLE
+        self.domain = RefDomain.OS
+        # Incremented whenever the CPU returns to application code; used
+        # to distinguish Dispossame (OS self-displacement with no
+        # intervening application run, Table 2).
+        self.app_epoch = 0
+        self.current_pid: int = 0  # 0 = nobody (idle)
+        self.mode_cycles: Dict[Mode, int] = {m: 0 for m in Mode}
+        self.stall_cycles: Dict[Mode, int] = {m: 0 for m in Mode}
+        self._block_bytes = params.block_bytes
+        # When set, miss latencies are not charged as stall time: the
+        # data was prefetched ahead of use ("if the data to be copied or
+        # cleared is prefetched in advance while other computation is in
+        # progress, the latency of the misses is hidden" — Section 4.2.2).
+        # Bus traffic and cache effects still happen.
+        self.prefetch_mode = False
+
+    # ------------------------------------------------------------------
+    # Mode transitions
+    # ------------------------------------------------------------------
+    def set_mode(self, mode: Mode) -> None:
+        if mode is Mode.USER and self.mode is not Mode.USER:
+            self.app_epoch += 1
+        self.mode = mode
+        self.domain = RefDomain.APP if mode is Mode.USER else RefDomain.OS
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def advance(self, cycles: int) -> None:
+        """Burn ``cycles`` of computation in the current mode."""
+        if cycles < 0:
+            raise ValueError("cannot advance time backwards")
+        self.cycles += cycles
+        self.mode_cycles[self.mode] += cycles
+
+    def advance_to(self, target_cycles: int) -> None:
+        """Advance the local clock to an absolute time (idle waits)."""
+        if target_cycles > self.cycles:
+            self.advance(target_cycles - self.cycles)
+
+    def _stall(self, cycles: int) -> None:
+        if cycles and not self.prefetch_mode:
+            self.cycles += cycles
+            self.mode_cycles[self.mode] += cycles
+            self.stall_cycles[self.mode] += cycles
+
+    def charge_stall(self, cycles: int) -> None:
+        """Charge an externally-computed stall (synchronization bus ops)."""
+        if cycles < 0:
+            raise ValueError("stall cycles must be non-negative")
+        self._stall(cycles)
+
+    # ------------------------------------------------------------------
+    # Reference issue (physical addresses)
+    # ------------------------------------------------------------------
+    def ifetch_range(self, base: int, size: int) -> None:
+        """Execute straight-line code spanning ``[base, base+size)``."""
+        if size <= 0:
+            return
+        block_bytes = self._block_bytes
+        first = base // block_bytes
+        last = (base + size - 1) // block_bytes
+        fetch = self.memsys.ifetch
+        for block in range(first, last + 1):
+            self.advance(IFETCH_ISSUE_CYCLES)
+            self._stall(fetch(self.cycles, self.cpu_id, block, self.domain, self.app_epoch))
+
+    def ifetch_block(self, block: int) -> None:
+        """Fetch one instruction block (loop bodies, idle loop)."""
+        self.advance(IFETCH_ISSUE_CYCLES)
+        self._stall(
+            self.memsys.ifetch(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
+        )
+
+    def dread(self, addr: int) -> None:
+        """Load from one data address."""
+        self.advance(DTOUCH_ISSUE_CYCLES)
+        self._stall(
+            self.memsys.dread(
+                self.cycles, self.cpu_id, addr // self._block_bytes,
+                self.domain, self.app_epoch,
+            )
+        )
+
+    def dwrite(self, addr: int) -> None:
+        """Store to one data address."""
+        self.advance(DTOUCH_ISSUE_CYCLES)
+        self._stall(
+            self.memsys.dwrite(
+                self.cycles, self.cpu_id, addr // self._block_bytes,
+                self.domain, self.app_epoch,
+            )
+        )
+
+    def dread_block(self, block: int) -> None:
+        self.advance(DTOUCH_ISSUE_CYCLES)
+        self._stall(
+            self.memsys.dread(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
+        )
+
+    def dwrite_block(self, block: int) -> None:
+        self.advance(DTOUCH_ISSUE_CYCLES)
+        self._stall(
+            self.memsys.dwrite(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
+        )
+
+    def dtouch_range(self, base: int, size: int, write: bool = False) -> None:
+        """Sweep a data range block by block (structure touches, block ops)."""
+        if size <= 0:
+            return
+        block_bytes = self._block_bytes
+        first = base // block_bytes
+        last = (base + size - 1) // block_bytes
+        touch = self.dwrite_block if write else self.dread_block
+        for block in range(first, last + 1):
+            touch(block)
+
+    def uncached_read(self, addr: int) -> None:
+        """Cache-bypassing byte read (escape references)."""
+        self.advance(DTOUCH_ISSUE_CYCLES)
+        self._stall(self.memsys.uncached_read(self.cycles, self.cpu_id, addr, self.domain))
+
+    # ------------------------------------------------------------------
+    # Accounting queries
+    # ------------------------------------------------------------------
+    def non_idle_cycles(self) -> int:
+        return self.mode_cycles[Mode.USER] + self.mode_cycles[Mode.KERNEL]
+
+    def time_split(self) -> Dict[Mode, float]:
+        """Fraction of this CPU's time in each mode (Table 1 columns 2-4)."""
+        total = sum(self.mode_cycles.values())
+        if total == 0:
+            return {m: 0.0 for m in Mode}
+        return {m: cycles / total for m, cycles in self.mode_cycles.items()}

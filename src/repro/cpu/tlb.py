@@ -1,0 +1,91 @@
+"""The R3000's 64-entry fully-associative TLB (one per CPU).
+
+The paper's instrumentation records every TLB change so the
+postprocessing program can translate physical trace addresses back to
+virtual ones (Section 2.2); our kernel emits the same escape records when
+it refills the TLB.
+
+Replacement is random-among-unwired in the real R3000; we model FIFO,
+which has the same steady-state fault behaviour for the working-set sizes
+involved and keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TlbEntry:
+    """One address translation."""
+
+    pid: int
+    vpage: int
+    frame: int
+    is_text: bool
+
+
+class Tlb:
+    """Fully-associative TLB keyed by (pid, virtual page)."""
+
+    def __init__(self, entries: int = 64):
+        if entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.capacity = entries
+        self._map: "OrderedDict[Tuple[int, int], TlbEntry]" = OrderedDict()
+        self.lookups = 0
+        self.misses = 0
+
+    def lookup(self, pid: int, vpage: int) -> Optional[TlbEntry]:
+        """Translate; None on a TLB miss (fault)."""
+        self.lookups += 1
+        entry = self._map.get((pid, vpage))
+        if entry is None:
+            self.misses += 1
+        return entry
+
+    def insert(self, entry: TlbEntry) -> Tuple[int, Optional[TlbEntry]]:
+        """Install a translation.
+
+        Returns ``(index, evicted)`` where ``index`` is the slot number
+        reported in the TLB-change escape record and ``evicted`` is the
+        entry pushed out, if the TLB was full.
+        """
+        key = (entry.pid, entry.vpage)
+        evicted = None
+        if key in self._map:
+            del self._map[key]
+        elif len(self._map) >= self.capacity:
+            _, evicted = self._map.popitem(last=False)
+        self._map[key] = entry
+        # Slot index is synthetic (the analysis only needs a stable id).
+        index = len(self._map) - 1
+        return index, evicted
+
+    def flush_pid(self, pid: int) -> int:
+        """Drop every translation belonging to ``pid`` (address-space
+        teardown on exit/exec). Returns the number dropped."""
+        stale = [key for key in self._map if key[0] == pid]
+        for key in stale:
+            del self._map[key]
+        return len(stale)
+
+    def flush_frame(self, frame: int) -> int:
+        """Drop every translation pointing at a physical frame (page
+        reclaim). Returns the number dropped."""
+        stale = [key for key, entry in self._map.items() if entry.frame == frame]
+        for key in stale:
+            del self._map[key]
+        return len(stale)
+
+    def entries(self) -> List[TlbEntry]:
+        return list(self._map.values())
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.lookups if self.lookups else 0.0

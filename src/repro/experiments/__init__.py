@@ -1,0 +1,26 @@
+"""One module per paper exhibit (table/figure), plus a registry and CLI.
+
+Each experiment builds its exhibit from fresh (or context-cached)
+simulations and returns an :class:`~repro.experiments.base.Exhibit`
+holding measured rows next to the paper's reported values.
+
+Run them all::
+
+    python -m repro.experiments run all
+
+or a single one::
+
+    python -m repro.experiments run table1
+"""
+
+from repro.experiments.base import Exhibit, ExperimentContext, RunSettings
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "Exhibit",
+    "ExperimentContext",
+    "RunSettings",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

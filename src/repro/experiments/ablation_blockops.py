@@ -1,0 +1,91 @@
+"""Ablation: block-operation cache bypass and prefetch (Section 4.2.2).
+
+"One way to eliminate misses in block operations is to use special
+hardware and software support to prefetch data ... A second technique is
+to bypass the cache when block transfer operations are performed."
+Both are implemented as kernel modes; this experiment runs Pmake under
+each and compares the OS data-miss picture.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import analyze_trace
+from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments.derive import blockop_miss_total, os_misses
+from repro.kernel.kernel import KernelTuning
+from repro.kernel.vm import VmTuning
+from repro.sim.config import CALIBRATIONS
+from repro.sim.session import Simulation
+
+EXHIBIT_ID = "ablation-blockops"
+TITLE = "Block operations: default vs cache bypass vs prefetch (Pmake)"
+
+_COLUMNS = (
+    "mode", "blockop_Dmisses", "OS_Dmisses", "apdispos_D",
+    "est_OS_stall%", "actual_stall%",
+)
+
+
+def _actual_stall_pct(processors) -> float:
+    """Ground-truth machine stall / non-idle time.
+
+    The trace-based estimate charges every miss 35 cycles, so it cannot
+    see prefetching (whose whole point is misses that do not stall);
+    this reads the machine's real accounting instead.
+    """
+    from repro.common.types import Mode
+
+    stall = sum(
+        proc.stall_cycles[Mode.USER] + proc.stall_cycles[Mode.KERNEL]
+        for proc in processors
+    )
+    non_idle = sum(
+        proc.mode_cycles[Mode.USER] + proc.mode_cycles[Mode.KERNEL]
+        for proc in processors
+    )
+    return 100.0 * stall / non_idle if non_idle else 0.0
+
+
+def _run_mode(settings, cache_bypass: bool, prefetch: bool):
+    calibration = CALIBRATIONS["pmake"]
+    tuning = KernelTuning(
+        quantum_ms=calibration.quantum_ms,
+        blockop_cache_bypass=cache_bypass,
+        blockop_prefetch=prefetch,
+        vm=VmTuning(baseline_frames=calibration.baseline_frames),
+    )
+    sim = Simulation("pmake", seed=settings.seed, tuning=tuning)
+    run = sim.run(settings.horizon_ms, warmup_ms=settings.warmup_ms)
+    return run, analyze_trace(run, keep_imiss_stream=False)
+
+
+def build(ctx: ExperimentContext) -> Exhibit:
+    exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
+    modes = (
+        ("default", None),
+        ("cache_bypass", dict(cache_bypass=True, prefetch=False)),
+        ("prefetch", dict(cache_bypass=False, prefetch=True)),
+    )
+    for label, overrides in modes:
+        if overrides is None:
+            run = ctx.run("pmake")
+            report = ctx.report("pmake")
+        else:
+            run, report = _run_mode(ctx.settings, **overrides)
+        analysis = report.analysis
+        exhibit.add_row(
+            label,
+            blockop_miss_total(analysis),
+            os_misses(analysis, "D"),
+            analysis.ap_dispos.get("D", 0),
+            round(report.os_stall_pct, 1),
+            round(_actual_stall_pct(run.processors), 1),
+        )
+    exhibit.note(
+        "bypass removes the displacement (fewer OS D-misses and fewer "
+        "OS-induced application misses) while still paying transfer "
+        "latency; prefetch hides the latency but keeps the displacement — "
+        "visible only in the machine's actual stall, not the 35-cycle "
+        "trace estimate"
+    )
+    return exhibit

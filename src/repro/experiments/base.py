@@ -1,0 +1,100 @@
+"""Experiment infrastructure: shared runs and exhibit formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import AnalysisReport, analyze_trace
+from repro.sim.session import Simulation, TracedRun
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Standard simulation settings shared by the experiments.
+
+    80 ms of traced window after 500 ms of warmup reaches the workloads'
+    steady state (all binaries resident, buffer cache warm, scheduler
+    mixing) while keeping a full experiment sweep to minutes of host
+    time. Individual experiments override where they need to (e.g.
+    Figure 11 sweeps CPU counts with a shorter window).
+    """
+
+    horizon_ms: float = 80.0
+    warmup_ms: float = 500.0
+    seed: int = 7
+
+
+class ExperimentContext:
+    """Caches one traced run + analysis per workload per settings."""
+
+    def __init__(self, settings: Optional[RunSettings] = None):
+        self.settings = settings if settings is not None else RunSettings()
+        self._runs: Dict[Tuple, TracedRun] = {}
+        self._reports: Dict[Tuple, AnalysisReport] = {}
+        self.exhibit_cache: Dict[str, "Exhibit"] = {}
+
+    def run(self, workload: str, **overrides) -> TracedRun:
+        key = (workload, tuple(sorted(overrides.items())))
+        if key not in self._runs:
+            settings = self.settings
+            sim_kwargs = dict(overrides)
+            horizon = sim_kwargs.pop("horizon_ms", settings.horizon_ms)
+            warmup = sim_kwargs.pop("warmup_ms", settings.warmup_ms)
+            seed = sim_kwargs.pop("seed", settings.seed)
+            sim = Simulation(workload, seed=seed, **sim_kwargs)
+            self._runs[key] = sim.run(horizon, warmup_ms=warmup)
+        return self._runs[key]
+
+    def report(self, workload: str, **overrides) -> AnalysisReport:
+        key = (workload, tuple(sorted(overrides.items())))
+        if key not in self._reports:
+            self._reports[key] = analyze_trace(self.run(workload, **overrides))
+        return self._reports[key]
+
+
+@dataclass
+class Exhibit:
+    """One reproduced table or figure, measured vs paper."""
+
+    exhibit_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Render an aligned text table."""
+        header = [str(c) for c in self.columns]
+        body = [
+            [self._fmt(value) for value in row]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.exhibit_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    def row_dict(self, key_column: int = 0) -> Dict[str, Sequence]:
+        return {str(row[key_column]): row for row in self.rows}

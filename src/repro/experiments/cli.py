@@ -1,0 +1,63 @@
+"""Command-line entry point: ``python -m repro.experiments run <id|all>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.base import ExperimentContext, RunSettings
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    run_cmd = sub.add_parser("run", help="run one or all experiments")
+    run_cmd.add_argument("exhibit", help="exhibit id (e.g. table1) or 'all'")
+    run_cmd.add_argument("--horizon-ms", type=float, default=80.0)
+    run_cmd.add_argument("--warmup-ms", type=float, default=500.0)
+    run_cmd.add_argument("--seed", type=int, default=7)
+    run_cmd.add_argument(
+        "--charts", action="store_true",
+        help="also render the exhibit's ASCII figure, if it has one",
+    )
+    list_cmd = sub.add_parser("list", help="list exhibit ids")
+    del list_cmd
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exhibit_id in EXPERIMENTS:
+            print(exhibit_id)
+        return 0
+
+    ctx = ExperimentContext(
+        RunSettings(
+            horizon_ms=args.horizon_ms,
+            warmup_ms=args.warmup_ms,
+            seed=args.seed,
+        )
+    )
+    targets = list(EXPERIMENTS) if args.exhibit == "all" else [args.exhibit]
+    for exhibit_id in targets:
+        start = time.time()
+        exhibit = run_experiment(exhibit_id, ctx)
+        print(exhibit.to_text())
+        if args.charts:
+            from repro.experiments.registry import render_chart
+
+            figure = render_chart(exhibit_id, ctx)
+            if figure:
+                print()
+                print(figure)
+        print(f"  [{time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Figure 10: application misses induced by OS interference (Ap_dispos)."""
+
+from __future__ import annotations
+
+from repro.common.types import RefDomain
+from repro.experiments import paperdata
+from repro.experiments.base import Exhibit, ExperimentContext
+
+EXHIBIT_ID = "figure10"
+TITLE = "Application misses induced by the OS (Ap_dispos)"
+
+_COLUMNS = ("workload", "apdispos_D%", "apdispos_I%", "apdispos_total%")
+
+
+def ap_dispos_share(analysis) -> tuple:
+    app_total = analysis.total_misses(RefDomain.APP)
+    if not app_total:
+        return 0.0, 0.0, 0.0
+    d = 100.0 * analysis.ap_dispos.get("D", 0) / app_total
+    i = 100.0 * analysis.ap_dispos.get("I", 0) / app_total
+    return d, i, d + i
+
+
+def build(ctx: ExperimentContext) -> Exhibit:
+    exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
+    for workload in paperdata.WORKLOADS:
+        d, i, total = ap_dispos_share(ctx.report(workload).analysis)
+        exhibit.add_row(workload, d, i, total)
+    low, high = paperdata.FIGURE10["ap_dispos_range_pct"]
+    exhibit.note(
+        f"paper: Ap_dispos misses are {low:.0f}-{high:.0f}% of all "
+        "application misses"
+    )
+    return exhibit

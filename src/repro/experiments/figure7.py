@@ -1,0 +1,36 @@
+"""Figure 7: classification of the data misses in the OS."""
+
+from __future__ import annotations
+
+from repro.common.types import MissClass, RefDomain
+from repro.experiments import paperdata
+from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments.derive import dmiss_class_shares_pct
+
+EXHIBIT_ID = "figure7"
+TITLE = "Classification of OS data misses (% of all OS misses)"
+
+_COLUMNS = (
+    "workload", "cold", "dispos", "dispap", "sharing", "D-total",
+    "dispossame/dispos%",
+)
+
+
+def build(ctx: ExperimentContext) -> Exhibit:
+    exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
+    for workload in paperdata.WORKLOADS:
+        analysis = ctx.report(workload).analysis
+        shares = dmiss_class_shares_pct(analysis)
+        dispos = analysis.miss_counts.get((RefDomain.OS, "D", MissClass.DISPOS), 0)
+        same = analysis.dispossame.get((RefDomain.OS, "D"), 0)
+        exhibit.add_row(
+            workload,
+            shares.get(MissClass.COLD, 0.0),
+            shares.get(MissClass.DISPOS, 0.0),
+            shares.get(MissClass.DISPAP, 0.0),
+            shares.get(MissClass.SHARING, 0.0),
+            sum(shares.values()),
+            100.0 * same / dispos if dispos else 0.0,
+        )
+    exhibit.note("paper: Sharing is the dominant class of OS data misses")
+    return exhibit

@@ -1,0 +1,123 @@
+"""The paper's reported numbers, transcribed for side-by-side display.
+
+Everything here is copied from the ASPLOS'92 text; experiments print
+these next to measured values. Reproduction targets the *shape*
+(orderings, dominant categories, rough factors), not the absolute
+numbers — our substrate is a synthetic kernel model, not IRIX 3.2 on a
+real 4D/340 (see EXPERIMENTS.md).
+"""
+
+WORKLOADS = ("pmake", "multpgm", "oracle")
+
+# Table 1: characteristics of the workloads.
+TABLE1 = {
+    #            user  sys   idle  os_miss%  stall_all  stall_os  stall_os+ind
+    "pmake":   (49.4, 31.1, 19.5, 52.6, 39.9, 21.0, 25.8),
+    "multpgm": (53.2, 46.7, 0.1, 46.3, 46.5, 21.5, 24.9),
+    "oracle":  (62.4, 29.4, 8.2, 26.6, 62.5, 16.6, 26.8),
+}
+
+# Figure 1: the basic repeating pattern (text-reported anchors).
+FIGURE1 = {
+    # mean time between OS invocations (ms)
+    "invocation_interval_ms": {"pmake": 1.9, "multpgm": 0.4, "oracle": 0.7},
+    # Pmake's average OS invocation misses
+    "pmake_inv_imisses": 154,
+    "pmake_inv_dmisses": 141,
+    # UTLB faults: average misses per invocation and share of app cycles
+    "utlb_misses_per_fault": 0.1,
+    "utlb_share_of_app_cycles_pct": 1.5,
+}
+
+# Figure 2: frequency of OS operations in Multpgm (approximate shares
+# read off the chart / stated in the text).
+FIGURE2 = {
+    "sginap": 50.0,
+    "tlb_faults": 20.0,
+    "io_syscalls": 20.0,
+    "clock_interrupts": 5.0,
+}
+
+# Figure 4: instruction misses as a share of all OS misses (range given
+# in the text) and the per-workload stall rows quoted in Section 4.2.1.
+FIGURE4 = {
+    "imiss_share_range_pct": (40.0, 65.0),
+    "imiss_stall_pct": {"pmake": 10.9, "multpgm": 9.2, "oracle": 10.6},
+    # Dispap dominates Oracle's displaced OS instruction misses.
+    "oracle_dispap_dominates": True,
+}
+
+# Table 4: migration misses (Sharing misses on the three per-process
+# structures), as % of OS data misses, plus stall.
+TABLE4 = {
+    #            kstack ustruct proctable total  stall
+    "pmake":   (4.8, 2.5, 2.6, 9.9, 1.0),
+    "multpgm": (14.4, 11.6, 7.8, 33.8, 4.2),
+    "oracle":  (18.0, 19.0, 7.1, 44.1, 2.6),
+}
+
+# Table 5: share of migration misses in three operations.
+TABLE5 = {
+    #            runq   lowlevel rwsetup total
+    "pmake":   (11.5, 7.3, 6.4, 25.2),
+    "multpgm": (20.5, 12.9, 13.2, 46.6),
+    "oracle":  (14.3, 14.5, 20.7, 49.5),
+}
+
+# Table 6: block-operation data misses as % of OS data misses + stall.
+TABLE6 = {
+    #            copy  clear traverse total stall
+    "pmake":   (17.6, 23.7, 19.7, 61.0, 6.2),
+    "multpgm": (15.1, 7.2, 15.7, 38.0, 4.7),
+    "oracle":  (8.6, 1.0, 1.0, 10.6, 0.6),
+}
+
+# Table 7: size characterization of Pmake's copies and clears
+# (% of invocations).
+TABLE7 = {
+    "copy": {"full_page": 5.0, "regular_fragment": 45.0, "irregular": 50.0},
+    "clear": {"full_page": 70.0, "irregular": 30.0},
+}
+
+# Table 9: stall decomposition (% of non-idle time).
+TABLE9 = {
+    #            total instr migration blockop rest
+    "pmake":   (21.0, 10.9, 1.0, 6.2, 2.9),
+    "multpgm": (21.5, 9.2, 4.2, 4.7, 3.4),
+    "oracle":  (16.6, 10.6, 2.6, 0.6, 2.8),
+    "average": (19.7, 10.2, 2.6, 3.8, 3.0),
+}
+
+# Figure 10: Ap_dispos share of all application misses.
+FIGURE10 = {"ap_dispos_range_pct": (22.0, 27.0)}
+
+# Table 10: stall from OS synchronization accesses (% of non-idle time).
+TABLE10 = {
+    "pmake": (4.2, 0.7),
+    "multpgm": (4.6, 0.8),
+    "oracle": (4.7, 1.1),
+}
+
+# Table 12: the most frequently acquired locks in Pmake.
+TABLE12 = {
+    # lock       kcycles failed% waiters locality% cached/uncached%
+    "memlock":   (9.5, 2.2, 1.02, 79.9, 12.0),
+    "runqlk":    (16.5, 13.7, 1.29, 36.9, 43.0),
+    "ifree":     (16.7, 0.8, 1.00, 91.4, 5.0),
+    "dfbmaplk":  (19.4, 0.0, 1.00, 99.0, 0.0),
+    "bfreelock": (22.5, 1.5, 1.00, 72.6, 15.0),
+    "calock":    (35.1, 0.3, 1.00, 11.4, 45.0),
+}
+
+# Figure 6 qualitative anchors.
+FIGURE6 = {
+    "two_way_helps": True,
+    "pmake_multpgm_saturate_kb": 256,
+    "oracle_falls_to_kb": 1024,
+}
+
+# Figure 8: the per-process structures' share of Sharing misses.
+FIGURE8 = {"private_state_share_range_pct": (40.0, 65.0)}
+
+# Figure 11: Runqlk contention grows with CPU count (shape).
+FIGURE11 = {"runqlk_grows_with_cpus": True}

@@ -1,0 +1,71 @@
+"""Registry mapping exhibit ids to experiment modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments import (
+    ablation_affinity, ablation_blockops, ablation_layout,
+    ablation_runqueues, oracle_scale, tr_distributions,
+    figure1, figure2, figure3, figure4, figure5, figure6, figure7,
+    figure8, figure9, figure10, figure11,
+    table1, table2, table3, table4, table5, table6, table7, table8,
+    table9, table10, table11, table12,
+)
+from repro.experiments.base import Exhibit, ExperimentContext
+
+# The paper's exhibits.
+PAPER_EXPERIMENTS: Dict[str, object] = {
+    module.EXHIBIT_ID: module
+    for module in (
+        table1, figure1, figure2, figure3, table2, figure4, figure5,
+        figure6, figure7, figure8, table3, table4, table5, table6,
+        table7, table8, figure9, table9, figure10, table10, table11,
+        table12, figure11,
+    )
+}
+
+# The optimizations the paper proposes but leaves unevaluated, carried
+# out as ablations.
+ABLATION_EXPERIMENTS: Dict[str, object] = {
+    module.EXHIBIT_ID: module
+    for module in (
+        ablation_layout, ablation_blockops, ablation_affinity,
+        ablation_runqueues, oracle_scale, tr_distributions,
+    )
+}
+
+EXPERIMENTS: Dict[str, object] = {**PAPER_EXPERIMENTS, **ABLATION_EXPERIMENTS}
+
+
+def get_experiment(exhibit_id: str):
+    try:
+        return EXPERIMENTS[exhibit_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown exhibit {exhibit_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(
+    exhibit_id: str, ctx: Optional[ExperimentContext] = None
+) -> Exhibit:
+    """Build one exhibit (creating a context if none is shared).
+
+    Built exhibits are cached on the context, so charts and repeated
+    requests do not repeat the expensive sweeps.
+    """
+    if ctx is None:
+        ctx = ExperimentContext()
+    if exhibit_id not in ctx.exhibit_cache:
+        ctx.exhibit_cache[exhibit_id] = get_experiment(exhibit_id).build(ctx)
+    return ctx.exhibit_cache[exhibit_id]
+
+
+def render_chart(exhibit_id: str, ctx: ExperimentContext) -> Optional[str]:
+    """The exhibit's ASCII figure, if its module draws one."""
+    module = get_experiment(exhibit_id)
+    chart = getattr(module, "chart", None)
+    if chart is None:
+        return None
+    return chart(ctx)

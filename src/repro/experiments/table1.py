@@ -1,0 +1,38 @@
+"""Table 1: characteristics of the workloads."""
+
+from __future__ import annotations
+
+from repro.experiments import paperdata
+from repro.experiments.base import Exhibit, ExperimentContext
+
+EXHIBIT_ID = "table1"
+TITLE = "Characteristics of the workloads"
+
+_COLUMNS = (
+    "workload", "source", "user%", "sys%", "idle%", "OSmiss/all%",
+    "stall(all)%", "stall(OS)%", "stall(OS+induced)%",
+)
+
+
+def build(ctx: ExperimentContext) -> Exhibit:
+    exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
+    for workload in paperdata.WORKLOADS:
+        paper = paperdata.TABLE1[workload]
+        exhibit.add_row(workload, "paper", *paper)
+        report = ctx.report(workload)
+        exhibit.add_row(
+            workload,
+            "measured",
+            report.user_pct,
+            report.sys_pct,
+            report.idle_pct,
+            report.os_miss_fraction_pct,
+            report.total_stall_pct,
+            report.os_stall_pct,
+            report.os_plus_induced_stall_pct,
+        )
+    exhibit.note(
+        "stall estimate: 35 cycles per bus access over non-idle time "
+        "(paper Section 3.1)"
+    )
+    return exhibit

@@ -1,0 +1,25 @@
+"""Table 11: the most frequently acquired kernel locks (definitional),
+checked against the modelled kernel's lock table."""
+
+from __future__ import annotations
+
+from repro.experiments import paperdata
+from repro.experiments.base import Exhibit, ExperimentContext
+from repro.kernel.locks import LOCK_FUNCTIONS
+
+EXHIBIT_ID = "table11"
+TITLE = "Kernel lock inventory (Table 11)"
+
+_COLUMNS = ("lock", "protects", "acquires_across_workloads")
+
+
+def build(ctx: ExperimentContext) -> Exhibit:
+    exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
+    acquires = {family: 0 for family in LOCK_FUNCTIONS}
+    for workload in paperdata.WORKLOADS:
+        kernel = ctx.run(workload).kernel
+        for family, stats in kernel.locks.family_stats().items():
+            acquires[family] = acquires.get(family, 0) + stats.acquires
+    for family, function in LOCK_FUNCTIONS.items():
+        exhibit.add_row(family, function, acquires.get(family, 0))
+    return exhibit

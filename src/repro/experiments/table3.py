@@ -1,0 +1,47 @@
+"""Table 3: the kernel data structures and their sizes (definitional).
+
+Verifies our kernel data map places every structure at the paper's
+reported size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Exhibit, ExperimentContext
+from repro.kernel import structures as S
+
+EXHIBIT_ID = "table3"
+TITLE = "Kernel data structures (sizes from Table 3)"
+
+_COLUMNS = ("structure", "paper_bytes", "model_bytes", "function")
+
+ROWS = (
+    ("Kernel Stack", 4096, S.KSTACK_BYTES,
+     "OS stack while executing in the context of the process"),
+    ("PCB section", 240, S.PCB_BYTES,
+     "registers saved at context switch"),
+    ("Eframe section", 172, S.EFRAME_BYTES,
+     "registers saved at exceptions"),
+    ("Rest of User Structure", 3684, S.USTRUCT_REST_BYTES,
+     "file descriptors, system buffers, syscall return values"),
+    ("Process Table", 46080, S.PROC_TABLE_BYTES,
+     "process state, priority, signals, scheduling parameters"),
+    ("Pfdat", 210944, S.PFDAT_BYTES,
+     "array of physical page descriptors"),
+    ("Buffer", 17408, S.BUFFER_TABLE_BYTES,
+     "buffer-cache headers"),
+    ("Inode", 68608, S.INODE_TABLE_BYTES,
+     "memory-resident inodes"),
+    ("Run Queue", 24, S.RUNQ_BYTES,
+     "head of the run queue"),
+    ("FreePgBuck", 3072, S.FREEPGBUCK_BYTES,
+     "hash buckets of free physical pages"),
+    ("Hi_ndproc", 4, S.HI_NDPROC_BYTES,
+     "priority-scheduling flag"),
+)
+
+
+def build(ctx: ExperimentContext) -> Exhibit:
+    exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
+    for name, paper_bytes, model_bytes, function in ROWS:
+        exhibit.add_row(name, paper_bytes, model_bytes, function)
+    return exhibit

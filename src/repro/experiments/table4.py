@@ -1,0 +1,35 @@
+"""Table 4: data misses and stall time caused by process migration."""
+
+from __future__ import annotations
+
+from repro.experiments import paperdata
+from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments.derive import migration_misses, migration_shares_pct
+
+EXHIBIT_ID = "table4"
+TITLE = "Migration misses (Sharing on KStack/UStruct/ProcTable)"
+
+_COLUMNS = (
+    "workload", "source", "kstack%", "ustruct%", "proctable%", "total%",
+    "stall%",
+)
+
+
+def build(ctx: ExperimentContext) -> Exhibit:
+    exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
+    for workload in paperdata.WORKLOADS:
+        exhibit.add_row(workload, "paper", *paperdata.TABLE4[workload])
+        report = ctx.report(workload)
+        shares = migration_shares_pct(report.analysis)
+        counts = migration_misses(report.analysis)
+        exhibit.add_row(
+            workload, "measured",
+            shares["kernel_stack"], shares["user_structure"],
+            shares["process_table"], shares["total"],
+            report.stall_pct_for(counts["total"]),
+        )
+    exhibit.note(
+        "percentages are of OS data misses; migration is conservatively "
+        "the Sharing misses on per-process private state (Section 4.2.2)"
+    )
+    return exhibit

@@ -1,0 +1,30 @@
+"""Table 6: data misses and stall time caused by the block operations."""
+
+from __future__ import annotations
+
+from repro.experiments import paperdata
+from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments.derive import blockop_miss_total, blockop_shares_pct
+
+EXHIBIT_ID = "table6"
+TITLE = "Block-operation data misses (copy / clear / pfdat traversal)"
+
+_COLUMNS = (
+    "workload", "source", "copy%", "clear%", "traverse%", "total%", "stall%",
+)
+
+
+def build(ctx: ExperimentContext) -> Exhibit:
+    exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
+    for workload in paperdata.WORKLOADS:
+        exhibit.add_row(workload, "paper", *paperdata.TABLE6[workload])
+        report = ctx.report(workload)
+        shares = blockop_shares_pct(report.analysis)
+        exhibit.add_row(
+            workload, "measured",
+            shares["copy"], shares["clear"], shares["traverse"],
+            shares["total"],
+            report.stall_pct_for(blockop_miss_total(report.analysis)),
+        )
+    exhibit.note("percentages are of OS data misses")
+    return exhibit

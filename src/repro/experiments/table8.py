@@ -1,0 +1,45 @@
+"""Table 8: the high-level OS operation vocabulary (definitional)."""
+
+from __future__ import annotations
+
+from repro.common.types import HighLevelOp
+from repro.experiments import paperdata
+from repro.experiments.base import Exhibit, ExperimentContext
+
+EXHIBIT_ID = "table8"
+TITLE = "High-level OS operations (Table 8 vocabulary)"
+
+_COLUMNS = ("operation", "meaning", "observed_invocations")
+
+_MEANINGS = {
+    HighLevelOp.EXPENSIVE_TLB_FAULT:
+        "TLB faults that allocate a physical page (grab/copy/clear/IO)",
+    HighLevelOp.CHEAP_TLB_FAULT:
+        "TLB faults needing neither allocation nor I/O (incl. UTLB)",
+    HighLevelOp.IO_SYSCALL: "system calls with file system reads/writes",
+    HighLevelOp.SGINAP_SYSCALL:
+        "reschedule after 20 unsuccessful lock spins",
+    HighLevelOp.OTHER_SYSCALL: "remaining system calls",
+    HighLevelOp.INTERRUPT: "disk/terminal/inter-CPU/clock interrupts",
+}
+
+_LABELS = {
+    HighLevelOp.EXPENSIVE_TLB_FAULT: ("expensive_tlb_fault",),
+    HighLevelOp.CHEAP_TLB_FAULT: ("cheap_tlb_fault", "utlb"),
+    HighLevelOp.IO_SYSCALL: ("io_syscall",),
+    HighLevelOp.SGINAP_SYSCALL: ("sginap_syscall",),
+    HighLevelOp.OTHER_SYSCALL: ("other_syscall",),
+    HighLevelOp.INTERRUPT: ("interrupt",),
+}
+
+
+def build(ctx: ExperimentContext) -> Exhibit:
+    exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
+    totals = {op: 0 for op in HighLevelOp}
+    for workload in paperdata.WORKLOADS:
+        analysis = ctx.report(workload).analysis
+        for op, labels in _LABELS.items():
+            totals[op] += sum(analysis.op_counts.get(label, 0) for label in labels)
+    for op, meaning in _MEANINGS.items():
+        exhibit.add_row(op.value, meaning, totals[op])
+    return exhibit

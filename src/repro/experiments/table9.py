@@ -1,0 +1,52 @@
+"""Table 9: components of the stall time directly caused by OS misses."""
+
+from __future__ import annotations
+
+from repro.common.types import RefDomain
+from repro.experiments import paperdata
+from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments.derive import (
+    blockop_miss_total,
+    migration_misses,
+    os_misses,
+)
+
+EXHIBIT_ID = "table9"
+TITLE = "Stall-time decomposition of OS misses (% of non-idle time)"
+
+_COLUMNS = (
+    "workload", "source", "total", "instr", "migration", "blockops", "rest",
+)
+
+
+def decompose(report) -> tuple:
+    analysis = report.analysis
+    total = analysis.total_misses(RefDomain.OS)
+    instr = os_misses(analysis, "I")
+    migration = migration_misses(analysis)["total"]
+    blockops = blockop_miss_total(analysis)
+    rest = max(0, total - instr - migration - blockops)
+    return (
+        report.stall_pct_for(total),
+        report.stall_pct_for(instr),
+        report.stall_pct_for(migration),
+        report.stall_pct_for(blockops),
+        report.stall_pct_for(rest),
+    )
+
+
+def build(ctx: ExperimentContext) -> Exhibit:
+    exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
+    measured_rows = []
+    for workload in paperdata.WORKLOADS:
+        exhibit.add_row(workload, "paper", *paperdata.TABLE9[workload])
+        row = decompose(ctx.report(workload))
+        measured_rows.append(row)
+        exhibit.add_row(workload, "measured", *row)
+    exhibit.add_row("average", "paper", *paperdata.TABLE9["average"])
+    n = len(measured_rows)
+    exhibit.add_row(
+        "average", "measured",
+        *[sum(r[i] for r in measured_rows) / n for i in range(5)],
+    )
+    return exhibit

@@ -1,0 +1,41 @@
+"""The synthetic IRIX-like System V kernel.
+
+This is the substrate the paper measured: a fully multithreaded
+System V UNIX whose data is shared by all kernel threads (Section 2.2).
+Our model reproduces the pieces the paper's analysis attributes misses
+to:
+
+- :mod:`repro.kernel.layout` — the kernel text image (named routines at
+  physical addresses; the Figure 5 symbol table).
+- :mod:`repro.kernel.structures` — the kernel data segment with the
+  Table 3 structures at their paper-reported sizes.
+- :mod:`repro.kernel.locks` — the Table 11 lock inventory with the
+  Table 12 statistics.
+- :mod:`repro.kernel.process` / :mod:`repro.kernel.scheduler` — processes,
+  the run queue, context switches, migration and (optional) affinity.
+- :mod:`repro.kernel.vm` — frame allocation, copy-on-write, demand zero,
+  the buffer cache, and the page-out descriptor traversal.
+- :mod:`repro.kernel.blockops` — bcopy / bclear / pfdat traversal.
+- :mod:`repro.kernel.tlbfault`, :mod:`repro.kernel.syscalls`,
+  :mod:`repro.kernel.interrupts` — the Table 8 operation vocabulary.
+- :mod:`repro.kernel.kernel` — the `Kernel` facade gluing it together.
+"""
+
+from repro.kernel.kernel import Kernel, KernelTuning
+from repro.kernel.layout import KernelLayout, Routine
+from repro.kernel.structures import KernelDataMap, StructName
+from repro.kernel.locks import KernelLock, LockTable
+from repro.kernel.process import Process, ProcState
+
+__all__ = [
+    "Kernel",
+    "KernelTuning",
+    "KernelLayout",
+    "Routine",
+    "KernelDataMap",
+    "StructName",
+    "KernelLock",
+    "LockTable",
+    "Process",
+    "ProcState",
+]

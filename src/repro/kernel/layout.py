@@ -1,0 +1,245 @@
+"""Kernel text image: named routines at physical addresses.
+
+The paper attributes instruction misses to OS routines through the symbol
+table of the OS image (Section 2.2) and shows (Figure 5) that
+self-interference misses concentrate in a few routines whose addresses
+conflict in the direct-mapped 64 KB I-cache (same address modulo the
+cache size).
+
+We lay out a ~700 KB kernel text of named routines. Most are placed
+sequentially (as a linker would); a handful of *hot* routines that IRIX's
+layout happened to map onto the same cache sets are placed at explicit
+offsets so the same conflicts arise:
+
+- ``fs_read`` (the filesystem read path) against ``disk_driver`` — both
+  run within one I/O system call, so their conflict produces
+  *Dispossame* misses;
+- ``syscall_entry`` against ``tty_driver``;
+- ``runq_switch`` against ``clock_intr``.
+
+The paper notes some I/O drivers have "a size comparable to the
+instruction cache"; ``net_driver`` and ``disk_driver`` are sized
+accordingly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.memsys.memory import KTEXT_BASE, KTEXT_SIZE
+
+ICACHE_BYTES = 64 * 1024
+
+# (name, size_bytes, explicit_offset or None)
+# Order matters: explicitly-placed routines are reserved first, the rest
+# fill remaining space in order.
+_ROUTINE_SPEC: List[Tuple[str, int, Optional[int]]] = [
+    # --- low-level exception handling (assembly; Table 5 category) ---
+    ("excvec_entry", 640, 0x00000),
+    ("excvec_exit", 512, None),
+    ("utlbmiss", 64, 0x00280),        # the fast UTLB vector
+    ("tlbmiss_common", 896, None),
+    # --- scheduling: "the seven routines that form the core of the run
+    #     queue management" (Table 5) ---
+    ("runq_save_ctx", 320, None),
+    ("runq_restore_ctx", 320, None),
+    ("runq_setrq", 256, None),
+    ("runq_remrq", 256, None),
+    ("runq_switch", 448, 0x52400),    # conflicts with clock_intr
+    ("runq_findproc", 384, None),
+    ("runq_schedprio", 512, None),
+    # --- syscall dispatch ---
+    ("syscall_entry", 512, 0x08000),  # conflicts with tty_driver
+    ("syscall_exit", 384, None),
+    ("read_setup", 832, None),        # recognition & setup of read (Table 5)
+    ("write_setup", 832, None),
+    # --- filesystem ---
+    ("fs_read", 4096, 0x0A000),       # conflicts with disk_driver
+    ("fs_write", 4096, None),
+    ("fs_namei", 3072, None),
+    ("inode_ops", 2048, None),
+    ("buffercache_getblk", 1536, None),
+    ("buffercache_brelse", 768, None),
+    ("dfbmap_alloc", 768, None),
+    # --- block operations (tight loops; Section 4.2.2) ---
+    ("bcopy", 256, None),
+    ("bclear", 128, None),
+    ("pfdat_scan", 640, None),
+    # --- virtual memory ---
+    ("vfault", 2304, None),
+    ("pagealloc", 1024, None),
+    ("pagefree", 640, None),
+    ("pageout_daemon", 1536, None),
+    ("growreg", 1024, None),
+    ("cow_fault", 1280, None),
+    # --- process management ---
+    ("fork_impl", 3072, None),
+    ("exec_impl", 4096, None),
+    ("exit_impl", 2048, None),
+    ("wait_impl", 1024, None),
+    ("signal_impl", 1536, None),
+    ("pipe_ops", 1536, None),
+    ("sginap_impl", 512, None),
+    # --- interrupts ---
+    ("clock_intr", 1024, 0x62400),    # conflicts with runq_switch
+    ("disk_intr", 1536, None),
+    ("tty_intr", 1024, None),
+    ("ipi_intr", 512, None),
+    ("net_intr", 1280, None),
+    ("callout_run", 768, None),
+    # --- drivers (large; "some I/O drivers have a size comparable to the
+    #     instruction cache"). The hot entry paths are placed where they
+    #     conflict with the filesystem/syscall code that calls them; the
+    #     cold bulk follows. ---
+    ("disk_driver_hot", 4096, 0x3A000),   # overlaps fs_read mod 64K
+    ("disk_driver_cold", 20480, 0x3B000),
+    ("tty_driver_hot", 2048, 0x48000),    # overlaps syscall_entry mod 64K
+    ("tty_driver_cold", 14336, 0x48800),
+    ("net_driver_hot", 2048, None),
+    ("net_driver_cold", 18432, None),
+    ("streams_core", 8192, None),
+    # --- synchronization library (kernel side) ---
+    ("lock_acquire", 128, None),
+    ("lock_release", 96, None),
+    ("sem_ops", 512, None),
+    # --- misc system calls ---
+    ("misc_syscall", 2048, None),
+    ("gettimeofday_impl", 256, None),
+    ("brk_impl", 768, None),
+    ("stat_impl", 1024, None),
+    ("open_close_impl", 2048, None),
+    ("ioctl_impl", 1536, None),
+    # --- idle loop ---
+    ("idle_loop", 64, None),
+    # --- big cold bulk: rarely-executed kernel code that pads the image
+    #     to a realistic size (networking, admin, rare drivers) ---
+    ("cold_text_1", 98304, None),
+    ("cold_text_2", 98304, None),
+    ("cold_text_3", 98304, None),
+    ("cold_text_4", 98304, None),
+]
+
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class Routine:
+    """One kernel routine in the text image."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def cache_offset(self, cache_bytes: int = ICACHE_BYTES) -> int:
+        """Offset of the routine within the direct-mapped cache image."""
+        return self.base % cache_bytes
+
+    def _set_spans(self, cache_bytes: int) -> List[Tuple[int, int]]:
+        """The cache-set intervals this routine occupies, as [start, end)
+        spans over [0, cache_bytes), splitting on wrap-around."""
+        if self.size >= cache_bytes:
+            return [(0, cache_bytes)]
+        start = self.base % cache_bytes
+        end = start + self.size
+        if end <= cache_bytes:
+            return [(start, end)]
+        return [(start, cache_bytes), (0, end - cache_bytes)]
+
+    def conflicts_with(self, other: "Routine", cache_bytes: int = ICACHE_BYTES) -> bool:
+        """True if the two routines compete for I-cache sets."""
+        for a_start, a_end in self._set_spans(cache_bytes):
+            for b_start, b_end in other._set_spans(cache_bytes):
+                if a_start < b_end and b_start < a_end:
+                    return True
+        return False
+
+
+class KernelLayout:
+    """The kernel text symbol table.
+
+    ``spec`` overrides the default routine placement — used by the
+    code-layout optimizer (:mod:`repro.opt.codelayout`) to build a
+    conflict-minimized image with the same routines.
+    """
+
+    def __init__(
+        self, spec: Optional[List[Tuple[str, int, Optional[int]]]] = None
+    ) -> None:
+        self.spec = list(spec) if spec is not None else list(_ROUTINE_SPEC)
+        self.routines: Dict[str, Routine] = {}
+        self._place_all()
+        bases = sorted((r.base, r.name) for r in self.routines.values())
+        self._sorted_bases = [b for b, _ in bases]
+        self._sorted_names = [n for _, n in bases]
+        self.text_end = max(r.end for r in self.routines.values())
+
+    def _place_all(self) -> None:
+        reserved: List[Tuple[int, int]] = []  # (base, end) of explicit placements
+        for name, size, offset in self.spec:
+            if offset is None:
+                continue
+            base = KTEXT_BASE + offset
+            self._add(name, base, size)
+            reserved.append((base, base + size))
+        reserved.sort()
+        cursor = KTEXT_BASE
+        for name, size, offset in self.spec:
+            if offset is not None:
+                continue
+            base = self._first_fit(cursor, size, reserved)
+            self._add(name, base, size)
+            reserved.append((base, base + size))
+            reserved.sort()
+            cursor = base + size
+
+    def _first_fit(
+        self, cursor: int, size: int, reserved: List[Tuple[int, int]]
+    ) -> int:
+        base = -(-cursor // _ALIGN) * _ALIGN
+        while True:
+            conflict = next(
+                (r for r in reserved if base < r[1] and r[0] < base + size), None
+            )
+            if conflict is None:
+                if base + size > KTEXT_BASE + KTEXT_SIZE:
+                    raise ValueError("kernel text overflow: shrink routine spec")
+                return base
+            base = -(-conflict[1] // _ALIGN) * _ALIGN
+
+    def _add(self, name: str, base: int, size: int) -> None:
+        if name in self.routines:
+            raise ValueError(f"duplicate routine {name}")
+        if base < KTEXT_BASE or base + size > KTEXT_BASE + KTEXT_SIZE:
+            raise ValueError(f"routine {name} outside kernel text")
+        self.routines[name] = Routine(name, base, size)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def routine(self, name: str) -> Routine:
+        return self.routines[name]
+
+    def routine_at(self, addr: int) -> Optional[str]:
+        """Symbol-table lookup: which routine contains ``addr``."""
+        idx = bisect.bisect_right(self._sorted_bases, addr) - 1
+        if idx < 0:
+            return None
+        name = self._sorted_names[idx]
+        routine = self.routines[name]
+        return name if routine.base <= addr < routine.end else None
+
+    def conflicting_pairs(self) -> List[Tuple[str, str]]:
+        """All routine pairs competing for I-cache sets (diagnostics)."""
+        names = list(self.routines)
+        pairs = []
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                if self.routines[a].conflicts_with(self.routines[b]):
+                    pairs.append((a, b))
+        return pairs

@@ -1,0 +1,287 @@
+"""Kernel spinlocks: the Table 11 inventory with Table 12 statistics.
+
+Lock words live on the 4D/340's synchronization bus (uncached), so lock
+accesses are invisible to the main-bus monitor; statistics are kept by
+the OS itself (Section 2.2). Each lock records:
+
+- successful acquires and acquires that found the lock taken
+  ("% of failed acquires", spinning excluded, per Table 12),
+- the number of waiters present at each release,
+- locality: acquires by the CPU that also acquired the lock last, with no
+  other CPU touching the lock in between (the property that makes locks
+  cachable),
+- and it feeds the :class:`~repro.sync.llsc.CachedLockSimulator` so the
+  cached/uncached bus-traffic ratio of Table 12 falls out.
+
+The inventory (Table 11): Memlock, Runqlk, Ifree, Dfbmaplk, Bfreelock,
+Calock, and the arrays Shr_x (per-process page tables), Streams_x
+(per character device), Ino_x (per inode), Semlock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.cpu.processor import Processor
+from repro.sync.llsc import CachedLockSimulator
+from repro.sync.syncbus import SyncBus
+
+# Cycles one spin iteration takes (uncached read + loop overhead).
+SPIN_ITERATION_CYCLES = 30
+# Cap on spin iterations charged per contended acquire (kernel locks
+# never sginap; the cap only bounds accounting, not correctness).
+MAX_COUNTED_SPINS = 200
+
+LOCK_FUNCTIONS: Dict[str, str] = {
+    # Table 11, verbatim.
+    "memlock": "Data struct. that allocate/deallocate physical memory.",
+    "runqlk": "Scheduler's run queue.",
+    "ifree": "List of free inodes.",
+    "dfbmaplk": "Table of free blocks on the disk.",
+    "bfreelock": "List of free buffers for the buffer cache.",
+    "calock": "Table of outstanding actions like alarms or timeouts.",
+    "shr_x": "Per-process page tables and related structures.",
+    "streams_x": "Management of a character-oriented device.",
+    "ino_x": "Operations on a given inode, like read or write.",
+    "semlock": "Array of semaphores for the programmer to use.",
+}
+
+
+@dataclass
+class LockStats:
+    """Per-lock counters (the OS-kept synchronization statistics)."""
+
+    acquires: int = 0
+    failed_acquires: int = 0            # found taken (spins not counted)
+    releases: int = 0
+    releases_with_waiters: int = 0
+    waiters_sum: int = 0
+    same_cpu_no_intervening: int = 0    # locality numerator (Table 12 col 5)
+    spin_iterations: int = 0
+    hold_cycles_sum: int = 0
+    first_acquire_cycles: Optional[int] = None
+    last_acquire_cycles: int = 0
+
+    @property
+    def failed_pct(self) -> float:
+        return 100.0 * self.failed_acquires / self.acquires if self.acquires else 0.0
+
+    @property
+    def mean_waiters_if_any(self) -> float:
+        """Average waiters at release, over releases with >= 1 waiter
+        (Table 12 column 4); 1.0 when contention never queued."""
+        if not self.releases_with_waiters:
+            return 1.0
+        return self.waiters_sum / self.releases_with_waiters
+
+    @property
+    def locality_pct(self) -> float:
+        return (
+            100.0 * self.same_cpu_no_intervening / self.acquires
+            if self.acquires
+            else 0.0
+        )
+
+    def cycles_between_acquires(self, total_cycles: int) -> float:
+        """Average cycles between consecutive successful acquires
+        (includes idle time, as in Table 12)."""
+        if self.acquires < 1:
+            return float("inf")
+        return total_cycles / self.acquires
+
+
+class KernelLock:
+    """One spinlock, with chunk-atomic critical-section semantics.
+
+    The simulator executes each critical section atomically on the
+    holder's CPU, so the lock records the hold interval
+    ``[acquire_cycles, release_cycles]``; a later acquire attempt whose
+    local time falls inside a recorded interval counts as contended and
+    waits until the recorded release.
+    """
+
+    __slots__ = (
+        "name",
+        "family",
+        "stats",
+        "holder_cpu",
+        "acquire_cycles",
+        "release_cycles",
+        "interval_waiters",
+        "last_acquirer",
+        "touched_by_other",
+    )
+
+    def __init__(self, name: str, family: str):
+        self.name = name
+        self.family = family
+        self.stats = LockStats()
+        self.holder_cpu: Optional[int] = None
+        self.acquire_cycles = 0
+        self.release_cycles = 0      # end of the most recent hold interval
+        self.interval_waiters = 0    # waiters seen against the latest interval
+        self.last_acquirer: Optional[int] = None
+        self.touched_by_other = False
+
+    def held_at(self, cycles: int) -> bool:
+        """Would an acquire at local time ``cycles`` find the lock taken?
+
+        Critical sections execute atomically on the holder's CPU, so the
+        hold interval ``[acquire_cycles, release_cycles]`` may already be
+        fully recorded when a *slower-clocked* CPU attempts the lock; any
+        attempt whose local time falls before the interval's end was, in
+        machine time, a contended attempt.
+        """
+        return cycles < self.release_cycles
+
+
+class LockTable:
+    """All kernel locks; the single place the kernel takes locks through."""
+
+    def __init__(
+        self,
+        syncbus: SyncBus,
+        llsc: Optional[CachedLockSimulator] = None,
+        num_shr: int = 128,
+        num_streams: int = 8,
+        num_ino: int = 64,
+        num_runq: int = 1,
+    ):
+        self.syncbus = syncbus
+        self.llsc = llsc if llsc is not None else CachedLockSimulator()
+        self._locks: Dict[str, KernelLock] = {}
+        for name in ("memlock", "ifree", "dfbmaplk", "bfreelock",
+                     "calock", "semlock"):
+            self._locks[name] = KernelLock(name, name)
+        # The run queue is a single global lock on the measured machine;
+        # Section 6 proposes distributing it (one queue per cluster).
+        self.num_runq = max(1, num_runq)
+        if self.num_runq == 1:
+            self._locks["runqlk"] = KernelLock("runqlk", "runqlk")
+        else:
+            for i in range(self.num_runq):
+                self._locks[f"runqlk_{i}"] = KernelLock(f"runqlk_{i}", "runqlk")
+        for i in range(num_shr):
+            self._locks[f"shr_{i}"] = KernelLock(f"shr_{i}", "shr_x")
+        for i in range(num_streams):
+            self._locks[f"streams_{i}"] = KernelLock(f"streams_{i}", "streams_x")
+        for i in range(num_ino):
+            self._locks[f"ino_{i}"] = KernelLock(f"ino_{i}", "ino_x")
+
+    def lock(self, name: str) -> KernelLock:
+        return self._locks[name]
+
+    def runq(self, queue: int = 0) -> KernelLock:
+        if self.num_runq == 1:
+            return self._locks["runqlk"]
+        return self._locks[f"runqlk_{queue % self.num_runq}"]
+
+    def shr(self, slot: int) -> KernelLock:
+        return self._locks[f"shr_{slot % self._count('shr_')}"]
+
+    def ino(self, inode: int) -> KernelLock:
+        return self._locks[f"ino_{inode % self._count('ino_')}"]
+
+    def streams(self, device: int) -> KernelLock:
+        return self._locks[f"streams_{device % self._count('streams_')}"]
+
+    def _count(self, prefix: str) -> int:
+        return sum(1 for n in self._locks if n.startswith(prefix))
+
+    # ------------------------------------------------------------------
+    # Acquire / release
+    # ------------------------------------------------------------------
+    def acquire(self, proc: Processor, lock: KernelLock) -> None:
+        """Take the lock, spinning (kernel locks never sginap)."""
+        cpu = proc.cpu_id
+        stats = lock.stats
+        if lock.last_acquirer is not None and lock.last_acquirer != cpu:
+            lock.touched_by_other = True
+        if lock.held_at(proc.cycles):
+            stats.failed_acquires += 1
+            # Waiter counts are credited to the interval being waited on
+            # (the holder's release may already be recorded, see held_at).
+            lock.interval_waiters += 1
+            stats.waiters_sum += 1
+            if lock.interval_waiters == 1:
+                stats.releases_with_waiters += 1
+            wait = lock.release_cycles - proc.cycles
+            spins = min(MAX_COUNTED_SPINS, wait // SPIN_ITERATION_CYCLES + 1)
+            stats.spin_iterations += spins
+            self.llsc.on_spin(lock.family, cpu, spins)
+            # Spinning occupies the CPU until the recorded release.
+            proc.advance_to(lock.release_cycles)
+        # The acquire itself: uncached read + write (no atomic RMW).
+        proc.charge_stall(self.syncbus.read(cpu))
+        proc.charge_stall(self.syncbus.write(cpu))
+        self.llsc.on_acquire(lock.family, cpu)
+        stats.acquires += 1
+        if stats.first_acquire_cycles is None:
+            stats.first_acquire_cycles = proc.cycles
+        stats.last_acquire_cycles = proc.cycles
+        if lock.last_acquirer == cpu and not lock.touched_by_other:
+            stats.same_cpu_no_intervening += 1
+        lock.last_acquirer = cpu
+        lock.touched_by_other = False
+        lock.holder_cpu = cpu
+        lock.acquire_cycles = proc.cycles
+        lock.release_cycles = proc.cycles  # grows as the holder executes
+        lock.interval_waiters = 0
+
+    def release(self, proc: Processor, lock: KernelLock) -> None:
+        if lock.holder_cpu != proc.cpu_id:
+            raise RuntimeError(
+                f"CPU {proc.cpu_id} releasing {lock.name} held by {lock.holder_cpu}"
+            )
+        stats = lock.stats
+        stats.releases += 1
+        stats.hold_cycles_sum += proc.cycles - lock.acquire_cycles
+        proc.charge_stall(self.syncbus.write(proc.cpu_id))
+        self.llsc.on_release(lock.family, proc.cpu_id)
+        lock.holder_cpu = None
+        lock.release_cycles = proc.cycles
+
+    @contextmanager
+    def held(self, proc: Processor, name: str) -> Iterator[KernelLock]:
+        """``with locks.held(cpu, "runqlk"): ...`` critical section."""
+        lock = self._locks[name]
+        self.acquire(proc, lock)
+        try:
+            yield lock
+        finally:
+            self.release(proc, lock)
+
+    @contextmanager
+    def held_lock(self, proc: Processor, lock: KernelLock) -> Iterator[KernelLock]:
+        self.acquire(proc, lock)
+        try:
+            yield lock
+        finally:
+            self.release(proc, lock)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def family_stats(self) -> Dict[str, LockStats]:
+        """Aggregate statistics by lock family (shr_x summed, etc.)."""
+        out: Dict[str, LockStats] = {}
+        for lock in self._locks.values():
+            agg = out.setdefault(lock.family, LockStats())
+            s = lock.stats
+            agg.acquires += s.acquires
+            agg.failed_acquires += s.failed_acquires
+            agg.releases += s.releases
+            agg.releases_with_waiters += s.releases_with_waiters
+            agg.waiters_sum += s.waiters_sum
+            agg.same_cpu_no_intervening += s.same_cpu_no_intervening
+            agg.spin_iterations += s.spin_iterations
+            agg.hold_cycles_sum += s.hold_cycles_sum
+        return out
+
+    def all_locks(self) -> List[KernelLock]:
+        return list(self._locks.values())
+
+    def total_acquires(self) -> int:
+        return sum(lock.stats.acquires for lock in self._locks.values())

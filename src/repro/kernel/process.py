@@ -1,0 +1,116 @@
+"""Process model.
+
+A process owns a virtual address space (shared text image + private data
+pages), a process-table slot (which fixes the physical addresses of its
+kernel stack, user structure and page table — the per-process state whose
+migration the paper identifies as a major miss source), and a *driver*:
+the workload-supplied iterator of actions it executes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+# Virtual page number bases (per-process virtual layout).
+TEXT_VBASE = 0
+DATA_VBASE = 0x100
+STACK_VBASE = 0x3C0
+
+
+class ProcState(enum.Enum):
+    RUNNING = "running"
+    RUNNABLE = "runnable"
+    SLEEPING = "sleeping"
+    STOPPED = "stopped"   # suspended by the master tracer
+    ZOMBIE = "zombie"
+
+
+@dataclass
+class Image:
+    """A program's text image, shared by every process executing it.
+
+    Text frames are allocated on first exec and refcounted; when the last
+    user exits and memory pressure reclaims them, their reuse forces the
+    I-cache invalidations that become *Inval* misses.
+    """
+
+    name: str
+    text_pages: int
+    file_ino: int = -1  # executable file the text is demand-paged from
+    frames: List[int] = field(default_factory=list)  # -1 = not resident
+    refcount: int = 0
+
+    def resident(self) -> bool:
+        return bool(self.frames)
+
+
+@dataclass
+class Process:
+    """One schedulable process."""
+
+    pid: int
+    slot: int
+    name: str
+    image: Image
+    driver: Iterator  # yields workload actions
+    priority: int = 20
+    state: ProcState = ProcState.RUNNABLE
+    last_cpu: int = -1
+    # Private pages: virtual page -> physical frame.
+    data_frames: Dict[int, int] = field(default_factory=dict)
+    # Data pages still shared copy-on-write with the parent after fork.
+    cow_pages: Set[int] = field(default_factory=set)
+    # Hot working set the user-mode engine sweeps: (vpage, block-in-page).
+    hot_blocks: List[Tuple[int, int]] = field(default_factory=list)
+    sweep_cursor: int = 0
+    # Number of data pages the process may demand-fault (heap size).
+    data_pages: int = 16
+    # Carried state for partially-executed Compute actions.
+    pending_action: Optional[object] = None
+    # Statistics.
+    migrations: int = 0
+    dispatches: int = 0
+    syscalls: int = 0
+    # Wakeup bookkeeping (what the process sleeps on).
+    sleep_channel: Optional[object] = None
+    exited: bool = False
+
+    def runnable(self) -> bool:
+        return self.state is ProcState.RUNNABLE
+
+    def note_dispatch(self, cpu_id: int) -> bool:
+        """Record a dispatch; True if this dispatch migrated the process."""
+        migrated = self.last_cpu not in (-1, cpu_id)
+        if migrated:
+            self.migrations += 1
+        self.last_cpu = cpu_id
+        self.dispatches += 1
+        return migrated
+
+    def build_hot_set(
+        self, rng, text_fraction: float = 0.5, data_fraction: float = 0.6,
+        blocks_per_page: int = 256,
+    ) -> None:
+        """Choose the hot blocks the user-mode engine sweeps.
+
+        ``text_fraction`` of each text page and ``data_fraction`` of each
+        currently-known data page are hot; the engine walks them
+        cyclically, which is what re-exposes OS-displaced blocks as
+        *Ap_dispos* misses (Section 4.3).
+        """
+        hot: List[Tuple[int, int]] = []
+        text_step = max(1, int(1 / max(text_fraction, 1e-6)))
+        for vpage in range(TEXT_VBASE, TEXT_VBASE + self.image.text_pages):
+            for block in range(0, blocks_per_page, text_step):
+                hot.append((vpage, block))
+        data_step = max(1, int(1 / max(data_fraction, 1e-6)))
+        for vpage in range(DATA_VBASE, DATA_VBASE + self.data_pages):
+            for block in range(0, blocks_per_page, data_step):
+                hot.append((vpage, block))
+        # Keep the sweep order sequential (spatial locality drives both
+        # the TLB behaviour and the cache behaviour); only the starting
+        # point is randomized.
+        self.hot_blocks = hot
+        self.sweep_cursor = rng.randrange(len(hot)) if hot else 0

@@ -1,0 +1,238 @@
+"""Kernel data segment: the Table 3 structures at their reported sizes.
+
+Every data structure the paper's Figure 8 / Table 3 attributes Sharing
+misses to is placed at a fixed physical address in the kernel data
+region, so the analysis pipeline can attribute misses by address exactly
+the way the paper did ("we compare the address missed on with the entries
+in the symbol table of the OS image", Section 2.2).
+
+Table 3 sizes reproduced verbatim:
+
+==================  =======  =============================================
+Structure           Bytes    Function
+==================  =======  =============================================
+Kernel Stack        4096     per process; OS stack while in its context
+PCB section         240      registers saved at context switch
+Eframe section      172      registers saved at exceptions
+Rest of User Str.   3684     file descriptors, system buffers, ...
+Process Table       46080    state, priority, signals, scheduling
+Pfdat               210944   physical page descriptors
+Buffer              17408    buffer-cache headers
+Inode               68608    memory-resident inodes
+Run Queue           24       head of the run queue
+FreePgBuck          3072     hash buckets of free physical pages
+Hi_ndproc           4        priority-scheduling flag
+==================  =======  =============================================
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.memsys.memory import KDATA_BASE, KDATA_SIZE, KHEAP_BASE, KHEAP_SIZE
+
+# Capacity limits of the modelled kernel.
+NPROC = 128            # process-table slots
+PROC_ENTRY_BYTES = 360  # 46080 / 128 (paper total size / our slot count)
+PROC_TABLE_BYTES = 46080
+KSTACK_BYTES = 4096
+PCB_BYTES = 240
+EFRAME_BYTES = 172
+USTRUCT_REST_BYTES = 3684
+USTRUCT_BYTES = 4096   # PCB + Eframe + rest, padded to a page
+PFDAT_BYTES = 210944
+BUFFER_TABLE_BYTES = 17408
+NBUF = 272             # buffer headers (17408 / 64)
+BUFFER_HDR_BYTES = 64
+INODE_TABLE_BYTES = 68608
+NINODE = 536           # memory-resident inodes (68608 / 128)
+INODE_BYTES = 128
+RUNQ_BYTES = 24
+FREEPGBUCK_BYTES = 3072
+HI_NDPROC_BYTES = 4
+CALLOUT_BYTES = 2048   # outstanding alarms/timeouts (protected by Calock)
+SEMTABLE_BYTES = 1024  # user-visible semaphores (protected by Semlock)
+PAGETABLE_BYTES = 1024  # 256 PTEs x 4 bytes, one per process (Shr_x)
+
+
+class StructName(str, enum.Enum):
+    """Canonical structure names used in attribution (Figure 8 labels)."""
+
+    KERNEL_STACK = "Kernel Stack"
+    PCB = "PCB"
+    EFRAME = "Eframe"
+    USTRUCT_REST = "Rest of User Structure"
+    PROC_TABLE = "Process Table"
+    PFDAT = "Pfdat"
+    BUFFER = "Buffer"
+    INODE = "Inode"
+    RUN_QUEUE = "Run Queue"
+    FREEPGBUCK = "FreePgBuck"
+    HI_NDPROC = "Hi_ndproc"
+    CALLOUT = "Callout"
+    SEM_TABLE = "Semaphore Table"
+    PAGE_TABLE = "Page Table"
+    KHEAP = "Kernel Heap"
+    OTHER = "Other"
+
+
+@dataclass(frozen=True)
+class StructRegion:
+    """One named address range in the kernel data segment."""
+
+    name: StructName
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class KernelDataMap:
+    """Placement of every kernel structure, plus address attribution."""
+
+    def __init__(self) -> None:
+        self._regions: List[StructRegion] = []
+        cursor = KDATA_BASE
+
+        def place(name: StructName, size: int, align: int = 16) -> int:
+            nonlocal cursor
+            cursor = -(-cursor // align) * align
+            base = cursor
+            self._regions.append(StructRegion(name, base, size))
+            cursor += size
+            return base
+
+        # Global tables first.
+        self.proc_table_base = place(StructName.PROC_TABLE, PROC_TABLE_BYTES)
+        self.pfdat_base = place(StructName.PFDAT, PFDAT_BYTES)
+        self.buffer_base = place(StructName.BUFFER, BUFFER_TABLE_BYTES)
+        self.inode_base = place(StructName.INODE, INODE_TABLE_BYTES)
+        self.runq_base = place(StructName.RUN_QUEUE, RUNQ_BYTES)
+        self.freepgbuck_base = place(StructName.FREEPGBUCK, FREEPGBUCK_BYTES)
+        self.hi_ndproc_base = place(StructName.HI_NDPROC, HI_NDPROC_BYTES)
+        self.callout_base = place(StructName.CALLOUT, CALLOUT_BYTES)
+        self.semtable_base = place(StructName.SEM_TABLE, SEMTABLE_BYTES)
+        # Per-process areas: kernel stacks, then user structures.
+        self.kstack_base0 = place(
+            StructName.KERNEL_STACK, NPROC * KSTACK_BYTES, align=4096
+        )
+        self.ustruct_base0 = cursor
+        # The user structure is subdivided: PCB, Eframe, rest (Table 3).
+        for slot in range(NPROC):
+            base = self.ustruct_base0 + slot * USTRUCT_BYTES
+            self._regions.append(StructRegion(StructName.PCB, base, PCB_BYTES))
+            self._regions.append(
+                StructRegion(StructName.EFRAME, base + PCB_BYTES, EFRAME_BYTES)
+            )
+            self._regions.append(
+                StructRegion(
+                    StructName.USTRUCT_REST,
+                    base + PCB_BYTES + EFRAME_BYTES,
+                    USTRUCT_BYTES - PCB_BYTES - EFRAME_BYTES,
+                )
+            )
+        cursor = self.ustruct_base0 + NPROC * USTRUCT_BYTES
+        if cursor > KDATA_BASE + KDATA_SIZE:
+            raise ValueError("kernel data segment overflow")
+        self.kdata_end = cursor
+
+        # Per-process page tables live in the kernel heap (Shr_x territory).
+        if NPROC * PAGETABLE_BYTES > KHEAP_SIZE:
+            raise ValueError("kernel heap overflow")
+        self.pagetable_base0 = KHEAP_BASE
+        for slot in range(NPROC):
+            self._regions.append(
+                StructRegion(
+                    StructName.PAGE_TABLE,
+                    self.pagetable_base0 + slot * PAGETABLE_BYTES,
+                    PAGETABLE_BYTES,
+                )
+            )
+        self._regions.append(
+            StructRegion(
+                StructName.KHEAP,
+                KHEAP_BASE + NPROC * PAGETABLE_BYTES,
+                KHEAP_SIZE - NPROC * PAGETABLE_BYTES,
+            )
+        )
+
+        self._regions.sort(key=lambda r: r.base)
+        self._bases = [r.base for r in self._regions]
+
+    # ------------------------------------------------------------------
+    # Per-process addresses
+    # ------------------------------------------------------------------
+    def kstack_base(self, slot: int) -> int:
+        self._check_slot(slot)
+        return self.kstack_base0 + slot * KSTACK_BYTES
+
+    def ustruct_base(self, slot: int) -> int:
+        self._check_slot(slot)
+        return self.ustruct_base0 + slot * USTRUCT_BYTES
+
+    def pcb_base(self, slot: int) -> int:
+        return self.ustruct_base(slot)
+
+    def eframe_base(self, slot: int) -> int:
+        return self.ustruct_base(slot) + PCB_BYTES
+
+    def ustruct_rest_base(self, slot: int) -> int:
+        return self.ustruct_base(slot) + PCB_BYTES + EFRAME_BYTES
+
+    def proc_entry(self, slot: int) -> int:
+        self._check_slot(slot)
+        return self.proc_table_base + slot * PROC_ENTRY_BYTES
+
+    def pagetable_base(self, slot: int) -> int:
+        self._check_slot(slot)
+        return self.pagetable_base0 + slot * PAGETABLE_BYTES
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < NPROC:
+            raise ValueError(f"process slot {slot} out of range (NPROC={NPROC})")
+
+    # ------------------------------------------------------------------
+    # Table addresses
+    # ------------------------------------------------------------------
+    def pfdat_entry(self, frame_index: int) -> int:
+        desc = PFDAT_BYTES // 8192  # descriptor bytes per physical page
+        return self.pfdat_base + (frame_index % 8192) * desc
+
+    def buffer_header(self, index: int) -> int:
+        return self.buffer_base + (index % NBUF) * BUFFER_HDR_BYTES
+
+    def inode_entry(self, index: int) -> int:
+        return self.inode_base + (index % NINODE) * INODE_BYTES
+
+    def callout_entry(self, index: int) -> int:
+        return self.callout_base + (index * 16) % CALLOUT_BYTES
+
+    def sem_entry(self, index: int) -> int:
+        return self.semtable_base + (index * 16) % SEMTABLE_BYTES
+
+    def kheap_scratch(self, index: int) -> int:
+        """Dynamically-allocated kernel heap objects (streams queues,
+        misc allocations) — attributed to ``KHEAP``."""
+        scratch_base = self.pagetable_base0 + NPROC * PAGETABLE_BYTES
+        scratch_size = KHEAP_SIZE - NPROC * PAGETABLE_BYTES
+        return scratch_base + (index * 64) % scratch_size
+
+    # ------------------------------------------------------------------
+    # Attribution
+    # ------------------------------------------------------------------
+    def structure_at(self, addr: int) -> StructName:
+        """Which structure an address belongs to (Figure 8 attribution)."""
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx >= 0:
+            region = self._regions[idx]
+            if region.base <= addr < region.end:
+                return region.name
+        return StructName.OTHER
+
+    def regions(self) -> List[StructRegion]:
+        return list(self._regions)

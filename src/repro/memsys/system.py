@@ -1,0 +1,189 @@
+"""The complete memory system: caches + coherence + bus + memory.
+
+:class:`MemorySystem` is the single entry point through which CPUs touch
+memory. It
+
+- walks the per-CPU cache hierarchies,
+- maintains write-invalidate coherence between the data caches (the
+  4D/340's snooping protocol), issuing bus transactions for fills and
+  ownership upgrades,
+- leaves instruction caches incoherent (software-flushed on page
+  reallocation, per Table 2's *Inval* class),
+- reports every bus transaction to attached listeners (the hardware
+  monitor), and
+- feeds the ground-truth classifier.
+
+Return values are CPU stall cycles, using the paper's own cost model:
+35 cycles per bus access, ~15 cycles for an L1 data miss that hits in L2
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.params import MachineParams
+from repro.common.types import RefDomain
+from repro.memsys.bus import Bus, BusOp
+from repro.memsys.cache import EMPTY
+from repro.memsys.hierarchy import AccessOutcome, CpuCacheHierarchy
+from repro.memsys.memory import PhysicalMemory
+from repro.memsys.tracking import DATA, INSTR, GroundTruth
+
+# Sentinel meaning "block owned by no single CPU" (shared or uncached).
+SHARED = -1
+
+
+class MemorySystem:
+    """All CPUs' caches plus the bus, memory and coherence state."""
+
+    def __init__(
+        self,
+        params: MachineParams,
+        bus: Optional[Bus] = None,
+        record_events: bool = False,
+    ):
+        self.params = params
+        self.bus = bus if bus is not None else Bus()
+        self.memory = PhysicalMemory(params)
+        self.hierarchies: List[CpuCacheHierarchy] = [
+            CpuCacheHierarchy(cpu, params) for cpu in range(params.num_cpus)
+        ]
+        self.truth = GroundTruth(params.num_cpus, record_events=record_events)
+        # block -> owning CPU for exclusively-held (written) blocks.
+        self._owner: Dict[int, int] = {}
+        self.block_bytes = params.block_bytes
+        # Counters the experiments use directly.
+        self.bus_reads = 0
+        self.bus_writes = 0
+        self.bus_uncached = 0
+
+    # ------------------------------------------------------------------
+    # Instruction fetch
+    # ------------------------------------------------------------------
+    def ifetch(
+        self, time_cycles: int, cpu: int, block: int, domain: RefDomain, app_epoch: int
+    ) -> int:
+        """Fetch one instruction block; returns stall cycles."""
+        victim = self.hierarchies[cpu].ifetch(block)
+        if victim is None:
+            return 0
+        if victim != EMPTY:
+            self.truth.record_eviction(cpu, INSTR, victim, domain, app_epoch)
+        self.truth.classify_and_record(time_cycles, cpu, INSTR, block, domain, app_epoch)
+        self.bus_reads += 1
+        self.bus.transaction(time_cycles, cpu, block * self.block_bytes, BusOp.READ)
+        return self.params.bus_stall_cycles
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+    def dread(
+        self, time_cycles: int, cpu: int, block: int, domain: RefDomain, app_epoch: int
+    ) -> int:
+        """Read one data block; returns stall cycles."""
+        outcome, victim = self.hierarchies[cpu].daccess(block)
+        if outcome is AccessOutcome.L1_HIT:
+            return 0
+        if outcome is AccessOutcome.L2_HIT:
+            return self.params.l2_hit_stall_cycles
+        if victim != EMPTY:
+            self.truth.record_eviction(cpu, DATA, victim, domain, app_epoch)
+            if self._owner.get(victim) == cpu:
+                del self._owner[victim]
+        self.truth.classify_and_record(time_cycles, cpu, DATA, block, domain, app_epoch)
+        # Reading a block exclusively held elsewhere downgrades it to shared.
+        owner = self._owner.get(block, SHARED)
+        if owner != SHARED and owner != cpu:
+            self._owner.pop(block, None)
+        self.bus_reads += 1
+        self.bus.transaction(time_cycles, cpu, block * self.block_bytes, BusOp.READ)
+        return self.params.bus_stall_cycles
+
+    def dwrite(
+        self, time_cycles: int, cpu: int, block: int, domain: RefDomain, app_epoch: int
+    ) -> int:
+        """Write one data block; returns stall cycles.
+
+        Writing a block not exclusively owned issues a bus transaction
+        that invalidates every other CPU's copy — those invalidations are
+        what later surface as *Sharing* misses (Table 2).
+        """
+        outcome, victim = self.hierarchies[cpu].daccess(block)
+        stall = 0
+        if outcome is AccessOutcome.L2_HIT:
+            stall += self.params.l2_hit_stall_cycles
+        if outcome is AccessOutcome.MISS:
+            if victim != EMPTY:
+                self.truth.record_eviction(cpu, DATA, victim, domain, app_epoch)
+            self.truth.classify_and_record(
+                time_cycles, cpu, DATA, block, domain, app_epoch
+            )
+        if self._owner.get(block, SHARED) != cpu:
+            # Gain ownership: one bus transaction invalidating other copies.
+            for other in self.hierarchies:
+                if other.cpu != cpu and other.invalidate_data(block):
+                    self.truth.record_invalidation(other.cpu, DATA, block)
+            self._owner[block] = cpu
+            self.bus_writes += 1
+            self.bus.transaction(
+                time_cycles, cpu, block * self.block_bytes, BusOp.WRITE
+            )
+            stall += self.params.bus_stall_cycles
+        return stall
+
+    # ------------------------------------------------------------------
+    # Uncached accesses (escape references)
+    # ------------------------------------------------------------------
+    def uncached_read(
+        self, time_cycles: int, cpu: int, addr: int, domain: RefDomain = RefDomain.OS
+    ) -> int:
+        """Cache-bypassing byte read; always one bus transaction.
+
+        The paper's instrumentation transfers information to the trace
+        through these (Section 2.2); they cost "as cheaply ... as one or
+        more cache misses".
+        """
+        self.truth.record_uncached(domain)
+        self.bus_uncached += 1
+        self.bus.transaction(time_cycles, cpu, addr, BusOp.UNCACHED_READ)
+        return self.params.bus_stall_cycles
+
+    # ------------------------------------------------------------------
+    # Instruction-cache invalidation (page reallocation)
+    # ------------------------------------------------------------------
+    def flush_icache_range(self, base_addr: int, size: int) -> int:
+        """Invalidate an address range from every CPU's I-cache.
+
+        Called by the kernel when a physical page that contained code is
+        reallocated. Returns the number of lines invalidated across all
+        CPUs (the seeds of future *Inval* misses).
+        """
+        first_block = base_addr // self.block_bytes
+        num_blocks = -(-size // self.block_bytes)
+        flushed = 0
+        for hierarchy in self.hierarchies:
+            for block in hierarchy.invalidate_instr_range(first_block, num_blocks):
+                self.truth.record_invalidation(hierarchy.cpu, INSTR, block)
+                flushed += 1
+        return flushed
+
+    def flush_all_icaches(self) -> int:
+        """Invalidate every CPU's entire I-cache.
+
+        The R3000 has no selective I-cache coherence; reallocating a
+        frame that held code forces a full flush, whose re-fetches become
+        *Inval* misses (Table 2, Figure 6).
+        """
+        flushed = 0
+        for hierarchy in self.hierarchies:
+            for block in hierarchy.icache.invalidate_all():
+                self.truth.record_invalidation(hierarchy.cpu, INSTR, block)
+                flushed += 1
+        return flushed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_bus_transactions(self) -> int:
+        return self.bus_reads + self.bus_writes + self.bus_uncached

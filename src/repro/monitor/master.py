@@ -1,0 +1,88 @@
+"""The master tracing process (paper Section 2.1).
+
+To trace an unbounded stretch of workload with a bounded hardware buffer,
+the paper runs a real-time-priority master process that wakes at regular
+intervals, checks how full the trace buffer is and, past a threshold,
+suspends every workload process (sending the CPUs to the idle loop),
+dumps the buffer to a remote disk, and resumes the workload. The modified
+kernel forces an immediate reschedule on the suspend signal so no trace
+is lost.
+
+:class:`MasterTracer` reproduces that control loop. The simulation
+session calls :meth:`service` whenever simulated time passes the master's
+next wake-up; a dump closes the current trace segment, costs the
+suspend/dump duration (during which the session idles all CPUs), and
+starts a new segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.monitor.hwmonitor import HardwareMonitor
+
+
+@dataclass
+class MasterConfig:
+    """Tunables of the master's control loop."""
+
+    check_interval_ms: float = 20.0
+    dump_threshold: float = 0.75       # fraction full that triggers a dump
+    dump_ms_per_k_entries: float = 0.5  # remote-disk transfer cost
+    suspend_overhead_ms: float = 0.2    # forced reschedule + wakeup cost
+
+
+class MasterTracer:
+    """The master process: threshold check, suspend, dump, resume."""
+
+    def __init__(
+        self,
+        monitor: HardwareMonitor,
+        cycles_per_ms: float,
+        config: MasterConfig = MasterConfig(),
+    ):
+        self.monitor = monitor
+        self.config = config
+        self._cycles_per_ms = cycles_per_ms
+        self.next_check_cycles = 0
+        self.dumps = 0
+        self.dumped_entries = 0
+
+    def start(self, now_cycles: int) -> None:
+        self.monitor.start(now_cycles)
+        self.next_check_cycles = now_cycles + int(
+            self.config.check_interval_ms * self._cycles_per_ms
+        )
+
+    def due(self, now_cycles: int) -> bool:
+        return now_cycles >= self.next_check_cycles
+
+    def service(self, now_cycles: int) -> int:
+        """Run one master wake-up.
+
+        Returns the number of cycles the workload must stay suspended
+        (0 when the buffer was below threshold and no dump happened).
+        """
+        self.next_check_cycles = now_cycles + int(
+            self.config.check_interval_ms * self._cycles_per_ms
+        )
+        if self.monitor.fill_fraction() < self.config.dump_threshold:
+            return 0
+        # Suspend: close the segment (nothing recorded while dumping —
+        # the postprocessing machine is remote, so it cannot pollute the
+        # caches of the system under measure).
+        segment = self.monitor.stop(now_cycles)
+        self.dumps += 1
+        self.dumped_entries += len(segment)
+        dump_ms = (
+            self.config.suspend_overhead_ms
+            + self.config.dump_ms_per_k_entries * len(segment) / 1000.0
+        )
+        suspend_cycles = int(dump_ms * self._cycles_per_ms)
+        self.monitor.start(now_cycles + suspend_cycles)
+        return suspend_cycles
+
+    def finish(self, now_cycles: int) -> None:
+        """Stop tracing at the end of the run."""
+        if self.monitor.recording:
+            self.monitor.stop(now_cycles)

@@ -1,0 +1,51 @@
+"""Trace persistence: dump the monitor's buffer the way the master did.
+
+The real master process shipped each buffer segment to a remote disk for
+offline postprocessing (Section 2.1). This module is that disk format: a
+compact NumPy container holding every segment's entries, so traces can
+be captured once and analyzed many times (or elsewhere).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.monitor.hwmonitor import Trace, TraceSegment
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` (.npz)."""
+    arrays = {
+        "version": np.array([_FORMAT_VERSION], dtype=np.int64),
+        "num_segments": np.array([len(trace.segments)], dtype=np.int64),
+    }
+    for index, segment in enumerate(trace.segments):
+        entries = np.asarray(segment.entries, dtype=np.int64)
+        if entries.size == 0:
+            entries = entries.reshape(0, 4)
+        arrays[f"segment_{index}_entries"] = entries
+        arrays[f"segment_{index}_span"] = np.array(
+            [segment.start_cycles, segment.end_cycles], dtype=np.int64
+        )
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(str(path)) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        trace = Trace()
+        for index in range(int(data["num_segments"][0])):
+            start, end = (int(v) for v in data[f"segment_{index}_span"])
+            segment = TraceSegment(start_cycles=start, end_cycles=end)
+            entries = data[f"segment_{index}_entries"]
+            segment.entries = [tuple(int(v) for v in row) for row in entries]
+            trace.segments.append(segment)
+        return trace

@@ -1,0 +1,29 @@
+"""Optimizations the paper proposes but leaves unevaluated.
+
+- :mod:`repro.opt.codelayout` — profile-driven OS code layout
+  ("purposely laying out the basic blocks in the OS object code to
+  avoid cache conflicts", Section 4.2.1). The paper notes existing
+  loop-oriented techniques don't fit loop-less OS paths and declares new
+  ones "beyond the scope of this paper"; this module builds one and the
+  ablation experiments measure it.
+
+The other proposed optimizations live as kernel tuning flags:
+cache-affinity scheduling (`KernelTuning.affinity_scheduling`),
+block-operation cache bypass / prefetch
+(`KernelTuning.blockop_cache_bypass` / `.blockop_prefetch`), and
+distributed run queues (`KernelTuning.num_run_queues`).
+"""
+
+from repro.opt.codelayout import (
+    LayoutPlan,
+    conflict_cost,
+    optimize_layout,
+    routine_heat_from_analysis,
+)
+
+__all__ = [
+    "LayoutPlan",
+    "conflict_cost",
+    "optimize_layout",
+    "routine_heat_from_analysis",
+]

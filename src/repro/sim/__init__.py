@@ -1,0 +1,12 @@
+"""Simulation sessions: machine + kernel + workload + monitor."""
+
+from repro.sim.session import Simulation, TracedRun, run_traced_workload
+from repro.sim.config import CALIBRATIONS, WorkloadCalibration
+
+__all__ = [
+    "Simulation",
+    "TracedRun",
+    "run_traced_workload",
+    "CALIBRATIONS",
+    "WorkloadCalibration",
+]

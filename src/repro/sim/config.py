@@ -1,0 +1,73 @@
+"""Per-workload calibration constants, with provenance.
+
+Rule (DESIGN.md): *input rates* — how often the workloads do things — are
+calibrated from the paper's own reported numbers; *outcomes* (miss-class
+splits, structure attribution, lock locality/contention) are emergent
+from the cache and kernel mechanics and are never dialled in.
+
+Paper anchors used below:
+
+- Table 1: execution-time splits — Pmake 49/31/19 user/sys/idle,
+  Multpgm ~53/47/0, Oracle 62/29/8; OS misses 52.6 / 46.3 / 26.6 % of all
+  misses.
+- Figure 1: mean OS invocation interval 1.9 ms (Pmake), 0.4 ms (Multpgm),
+  0.7 ms (Oracle).
+- Figure 2 (Multpgm op mix): ~50% sginap, ~20% TLB faults, ~20% I/O
+  calls, ~5% clock interrupts.
+- Section 3: Pmake = 56 C files, ~480 lines each, -J 8; Mp3d with 4
+  processes / 50,000 particles; ed sessions send 1-15 chars per burst,
+  at most 25 chars every 5 s; Oracle = 10 branches / 100 tellers /
+  10,000 accounts at 59 TPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadCalibration:
+    """Engine and kernel knobs for one workload."""
+
+    # Sampled application reference rate (see EngineConfig): chosen per
+    # workload so the OS-vs-application miss split lands near Table 1
+    # column 5.
+    touches_per_kcycle: float
+    # Memory held by untraced residents (window system, daemons, the rest
+    # of the kernel) — sets the memory pressure that triggers the pfdat
+    # traversals of Table 6.
+    baseline_frames: int
+    # Scheduler quantum. IRIX timeshares at tens of ms.
+    quantum_ms: float
+    # Hot-set shape of application pages.
+    hot_text_fraction: float = 0.5
+    hot_data_fraction: float = 0.6
+
+
+# Pmake: long OS invocations (1.9 ms apart), heavy I/O, 19.5% idle from
+# disk waits, strong memory churn (fork/exec of 56 compiles) -> pressure.
+PMAKE = WorkloadCalibration(
+    touches_per_kcycle=26.0,
+    baseline_frames=6780,
+    quantum_ms=30.0,
+)
+
+# Multpgm: everything at once -> no idle, frequent OS entry (0.4 ms),
+# sginap storm from Mp3d's locks, migration-heavy timesharing.
+MULTPGM = WorkloadCalibration(
+    touches_per_kcycle=30.0,
+    baseline_frames=6150,
+    quantum_ms=5.0,
+)
+
+# Oracle: big application working set (Dispap dominates OS I-misses),
+# in-memory database -> little disk idle, 0.7 ms invocation interval,
+# the database does its own page management (expensive-TLB activity is
+# lumped into I/O system calls, Section 4.2.3).
+ORACLE = WorkloadCalibration(
+    touches_per_kcycle=55.0,
+    baseline_frames=5400,
+    quantum_ms=30.0,
+)
+
+CALIBRATIONS = {"pmake": PMAKE, "multpgm": MULTPGM, "oracle": ORACLE}

@@ -1,0 +1,18 @@
+"""Synchronization substrate.
+
+The 4D/340 diverts synchronization accesses to a dedicated
+synchronization bus, invisible to the main-bus hardware monitor
+(paper Section 2.1). :mod:`repro.sync.syncbus` models that bus and its
+cost (the protocol has no atomic read-modify-write, which is what makes
+it expensive — Section 5.1).
+
+:mod:`repro.sync.llsc` models the paper's what-if machine: locks are
+ordinary cached data kept coherent by the main bus's invalidation
+protocol, with MIPS R4000 load-linked/store-conditional providing
+atomicity (Table 10 and the last column of Table 12).
+"""
+
+from repro.sync.syncbus import SyncBus, SyncBusStats
+from repro.sync.llsc import CachedLockSimulator
+
+__all__ = ["SyncBus", "SyncBusStats", "CachedLockSimulator"]

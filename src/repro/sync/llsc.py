@@ -1,0 +1,118 @@
+"""What-if model: cachable locks with LL/SC atomicity.
+
+Section 5.1 simulates "a machine where synchronization accesses use the
+main bus and the same cache coherence protocol as regular accesses",
+with MIPS R4000 load-linked / store-conditional providing the atomic
+read-modify-write. Under that protocol a CPU re-acquiring a lock that
+nobody else touched since its own release hits in its cache and needs
+**no** bus access; any other access pattern costs an invalidation-protocol
+miss.
+
+:class:`CachedLockSimulator` replays the lock access stream online. The
+simulator feeds it every lock event (acquire attempt, successful acquire,
+release, spin); it counts the bus accesses each of the two machines would
+make:
+
+- *uncached machine* (the real 4D/340): every event is a sync-bus access;
+- *cached machine* (the what-if): an access misses only when another CPU
+  touched the lock word since this CPU last had it, and spinning is local
+  (spin-on-read in the cache) except for the first read after an
+  invalidation.
+
+The ratio of the two is the last column of Table 12; the stall times are
+Table 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class LockBusCounts:
+    """Bus accesses attributed to one lock under both machines."""
+
+    uncached_accesses: int = 0
+    cached_misses: int = 0
+
+    @property
+    def cached_to_uncached_pct(self) -> float:
+        """Misses-cached / misses-uncached, in percent (Table 12)."""
+        if not self.uncached_accesses:
+            return 0.0
+        return 100.0 * self.cached_misses / self.uncached_accesses
+
+
+class CachedLockSimulator:
+    """Online two-machine lock-traffic simulation."""
+
+    def __init__(self, bus_stall_cycles: int = 35, sync_op_cycles: int = 25):
+        self.bus_stall_cycles = bus_stall_cycles
+        self.sync_op_cycles = sync_op_cycles
+        self._last_toucher: Dict[str, int] = {}
+        # lock name -> per-CPU "my cached copy is valid" map
+        self._valid_copy: Dict[str, Dict[int, bool]] = {}
+        self.per_lock: Dict[str, LockBusCounts] = {}
+        self.cached_stall_by_cpu: Dict[int, int] = {}
+        self.uncached_stall_by_cpu: Dict[int, int] = {}
+
+    def _counts(self, lock: str) -> LockBusCounts:
+        counts = self.per_lock.get(lock)
+        if counts is None:
+            counts = LockBusCounts()
+            self.per_lock[lock] = counts
+        return counts
+
+    def _touch(self, lock: str, cpu: int, writes: bool, uncached_ops: int) -> None:
+        counts = self._counts(lock)
+        counts.uncached_accesses += uncached_ops
+        self.uncached_stall_by_cpu[cpu] = (
+            self.uncached_stall_by_cpu.get(cpu, 0)
+            + uncached_ops * self.sync_op_cycles
+        )
+        valid = self._valid_copy.setdefault(lock, {})
+        if not valid.get(cpu, False):
+            # Cached machine: fetch the lock line once.
+            counts.cached_misses += 1
+            self.cached_stall_by_cpu[cpu] = (
+                self.cached_stall_by_cpu.get(cpu, 0) + self.bus_stall_cycles
+            )
+            valid[cpu] = True
+        if writes:
+            # SC / release invalidates every other copy.
+            for other in list(valid):
+                if other != cpu:
+                    valid[other] = False
+        self._last_toucher[lock] = cpu
+
+    # ------------------------------------------------------------------
+    # Event feed
+    # ------------------------------------------------------------------
+    def on_acquire(self, lock: str, cpu: int) -> None:
+        """Successful acquire: uncached machine pays a read + a write
+        (no atomic RMW); cached machine pays at most one miss (LL/SC
+        on the cached line)."""
+        self._touch(lock, cpu, writes=True, uncached_ops=2)
+
+    def on_spin(self, lock: str, cpu: int, iterations: int) -> None:
+        """Spinning: every iteration is an uncached read on the real
+        machine; on the cached machine the CPU spins in its cache and
+        pays one miss to fetch the line (handled by `_touch`)."""
+        if iterations <= 0:
+            return
+        self._touch(lock, cpu, writes=False, uncached_ops=iterations)
+
+    def on_release(self, lock: str, cpu: int) -> None:
+        """Release: one uncached write; on the cached machine the line is
+        normally still held exclusive by the releaser (zero or one miss)."""
+        self._touch(lock, cpu, writes=True, uncached_ops=1)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def cached_stall_cycles(self) -> int:
+        return sum(self.cached_stall_by_cpu.values())
+
+    def uncached_stall_cycles(self) -> int:
+        return sum(self.uncached_stall_by_cpu.values())

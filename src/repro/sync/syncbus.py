@@ -1,0 +1,73 @@
+"""The dedicated synchronization bus of the 4D/340.
+
+Synchronizing accesses bypass the caches and travel on this bus, so the
+main-bus monitor cannot see them (Section 2.1). The paper measures their
+cost through OS-kept statistics instead (Section 2.2); we model the bus
+as a per-access stall plus the same style of statistics counters.
+
+The protocol "suffers from the processor's lack of support for an atomic
+read-modify-write operation" (Section 5.1): taking a lock is a separate
+uncached read plus write, each a bus round trip, and every spin iteration
+is a further uncached read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SyncBusStats:
+    """Counters the modelled OS keeps about synchronization traffic.
+
+    ``stall_cycles_by_cpu`` mirrors the paper's technique of exporting
+    OS-kept statistics through pages mapped into a user process
+    (Section 2.2): the experiment harness reads them before and after a
+    run.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    stall_cycles_by_cpu: dict = field(default_factory=dict)
+
+    @property
+    def total_ops(self) -> int:
+        return self.reads + self.writes
+
+    def total_stall_cycles(self) -> int:
+        return sum(self.stall_cycles_by_cpu.values())
+
+
+class SyncBus:
+    """Uncached synchronization bus.
+
+    Each operation stalls the issuing CPU for ``op_cycles`` (a bus round
+    trip without caching). The acquire sequence on the real machine is a
+    read (test) plus a write (set) because there is no atomic RMW;
+    callers issue those as separate operations.
+    """
+
+    def __init__(self, op_cycles: int = 25):
+        if op_cycles < 1:
+            raise ValueError("op_cycles must be positive")
+        self.op_cycles = op_cycles
+        self.stats = SyncBusStats()
+
+    def read(self, cpu_id: int) -> int:
+        """One uncached read (test of a lock, spin iteration).
+
+        Returns the stall cycles the CPU must charge itself.
+        """
+        self.stats.reads += 1
+        self.stats.stall_cycles_by_cpu[cpu_id] = (
+            self.stats.stall_cycles_by_cpu.get(cpu_id, 0) + self.op_cycles
+        )
+        return self.op_cycles
+
+    def write(self, cpu_id: int) -> int:
+        """One uncached write (setting or clearing a lock)."""
+        self.stats.writes += 1
+        self.stats.stall_cycles_by_cpu[cpu_id] = (
+            self.stats.stall_cycles_by_cpu.get(cpu_id, 0) + self.op_cycles
+        )
+        return self.op_cycles

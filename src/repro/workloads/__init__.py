@@ -1,0 +1,48 @@
+"""Generative models of the paper's three workloads (Section 3).
+
+- :mod:`repro.workloads.pmake` — *Pmake*: a parallel make of 56 C files,
+  at most 8 jobs at once; I/O heavy with compute-intensive compiler
+  phases.
+- :mod:`repro.workloads.multpgm` — *Multpgm*: Mp3d (a 4-process particle
+  simulator with heavy lock traffic) + Pmake + five scripted ``ed``
+  sessions fed by a simulated typist.
+- :mod:`repro.workloads.oracle` — *Oracle*: a scaled-down TP1 database
+  benchmark (10 branches, 100 tellers, 10,000 accounts) that fits in
+  main memory.
+
+Workload processes are generators yielding :mod:`~repro.workloads.actions`
+objects; the user-mode engine (:mod:`repro.sim.usermode`) executes them.
+"""
+
+from repro.workloads.base import Workload, TtyEvent
+from repro.workloads.pmake import PmakeWorkload
+from repro.workloads.multpgm import MultpgmWorkload
+from repro.workloads.oracle import OracleWorkload
+
+WORKLOADS = {
+    "pmake": PmakeWorkload,
+    "multpgm": MultpgmWorkload,
+    "oracle": OracleWorkload,
+}
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a workload by its paper name."""
+    try:
+        cls = WORKLOADS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Workload",
+    "TtyEvent",
+    "PmakeWorkload",
+    "MultpgmWorkload",
+    "OracleWorkload",
+    "WORKLOADS",
+    "make_workload",
+]

@@ -1,0 +1,135 @@
+"""The action vocabulary workload processes are written in.
+
+A process driver is a generator yielding these objects; the user-mode
+engine (:mod:`repro.sim.usermode`) executes each one against the kernel.
+Actions are mutable: the engine stores results (e.g. the forked child, a
+read's progress) back into the yielded object, where the generator can
+read them after resuming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class Compute:
+    """User-mode computation over the process's working set."""
+
+    cycles: int
+    done_cycles: int = 0
+    # Fraction of data touches that are writes (text touches never are).
+    write_fraction: float = 0.25
+
+
+@dataclass
+class OpenFile:
+    ino: int
+
+
+@dataclass
+class ReadFile:
+    ino: int
+    offset: int
+    nbytes: int
+    progress: int = 0   # engine-maintained; survives sleeps
+
+
+@dataclass
+class WriteFile:
+    ino: int
+    offset: int
+    nbytes: int
+
+
+@dataclass
+class Sginap:
+    """Voluntary reschedule (the synchronization library's backoff)."""
+
+
+@dataclass
+class Fork:
+    """Fork a child running ``driver_factory()``; engine sets ``child``."""
+
+    name: str
+    driver_factory: Callable
+    child: Optional[object] = None  # kernel Process, set by the engine
+
+
+@dataclass
+class Exec:
+    """Replace the address space with ``image``."""
+
+    image: object  # kernel.process.Image
+    data_pages: int = 16
+
+
+@dataclass
+class ExitProc:
+    """Terminate (also implied by the driver ending)."""
+
+
+@dataclass
+class WaitChild:
+    """Block until the child process exits."""
+
+    child: object  # kernel Process (from a prior Fork action)
+
+
+@dataclass
+class SleepFor:
+    """Timed sleep (think time); delivered by the clock's callout run."""
+
+    ms: float
+
+
+@dataclass
+class TermWait:
+    """Block until terminal input arrives for this session."""
+
+    session_id: int
+
+
+@dataclass
+class TermWrite:
+    """Write characters to the terminal (echo, screen updates)."""
+
+    session_id: int
+    nchars: int
+
+
+@dataclass
+class Brk:
+    """Grow the heap to ``data_pages`` pages."""
+
+    data_pages: int
+
+
+@dataclass
+class SemOp:
+    """Kernel semaphore operation: P (delta=-1) or V (delta=+1)."""
+
+    sem_id: int
+    delta: int
+
+
+@dataclass
+class UserLockAcquire:
+    """User-level spinlock acquire: spin up to 20 times, then sginap
+    (the library protocol of Table 8) until the lock is obtained."""
+
+    lock_id: int
+    spins_done: int = 0
+
+
+@dataclass
+class UserLockRelease:
+    lock_id: int
+
+
+@dataclass
+class Misc:
+    """A cheap system call (gettimeofday, stat, signal, ioctl, pipe...)."""
+
+    flavor: str = "misc"

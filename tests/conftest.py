@@ -1,0 +1,74 @@
+"""Shared fixtures.
+
+Traced-run fixtures are session scoped: a short simulation per workload
+is reused by every analysis/integration test that only reads it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import MachineParams
+from repro.memsys.system import MemorySystem
+from repro.sim.session import Simulation, TracedRun
+
+
+@pytest.fixture
+def params() -> MachineParams:
+    return MachineParams()
+
+
+@pytest.fixture
+def memsys(params) -> MemorySystem:
+    return MemorySystem(params)
+
+
+def _run(workload: str, horizon_ms: float, warmup_ms: float, **kwargs) -> TracedRun:
+    sim = Simulation(workload, seed=3, **kwargs)
+    return sim.run(horizon_ms, warmup_ms=warmup_ms)
+
+
+@pytest.fixture(scope="session")
+def pmake_run() -> TracedRun:
+    """A short Pmake run with ground-truth events enabled."""
+    return _run("pmake", horizon_ms=25.0, warmup_ms=60.0)
+
+
+@pytest.fixture(scope="session")
+def multpgm_run() -> TracedRun:
+    return _run("multpgm", horizon_ms=20.0, warmup_ms=50.0)
+
+
+@pytest.fixture(scope="session")
+def oracle_run() -> TracedRun:
+    return _run("oracle", horizon_ms=20.0, warmup_ms=50.0)
+
+
+@pytest.fixture(scope="session", params=["pmake", "multpgm", "oracle"])
+def any_run(request, pmake_run, multpgm_run, oracle_run) -> TracedRun:
+    return {
+        "pmake": pmake_run,
+        "multpgm": multpgm_run,
+        "oracle": oracle_run,
+    }[request.param]
+
+
+@pytest.fixture(scope="session")
+def pmake_report(pmake_run):
+    from repro.analysis.report import analyze_trace
+
+    return analyze_trace(pmake_run)
+
+
+@pytest.fixture(scope="session")
+def nowarmup_run() -> TracedRun:
+    """A run measured from t=0 so trace statistics can be compared with
+    the simulator's cumulative ground truth."""
+    return _run("pmake", horizon_ms=40.0, warmup_ms=0.0)
+
+
+@pytest.fixture(scope="session")
+def nowarmup_report(nowarmup_run):
+    from repro.analysis.report import analyze_trace
+
+    return analyze_trace(nowarmup_run)

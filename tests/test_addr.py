@@ -1,0 +1,77 @@
+"""Address arithmetic helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addr import (
+    align_down,
+    align_up,
+    block_base,
+    block_of,
+    blocks_in_range,
+    page_base,
+    page_of,
+)
+
+
+class TestBlockMath:
+    def test_block_of_zero(self):
+        assert block_of(0) == 0
+
+    def test_block_of_boundary(self):
+        assert block_of(16) == 1
+        assert block_of(15) == 0
+
+    def test_block_base_roundtrip(self):
+        assert block_base(block_of(0x12345)) == 0x12340
+
+    def test_page_of(self):
+        assert page_of(4096) == 1
+        assert page_of(4095) == 0
+
+    def test_page_base(self):
+        assert page_base(3) == 12288
+
+
+class TestBlocksInRange:
+    def test_empty_range(self):
+        assert list(blocks_in_range(100, 0)) == []
+
+    def test_negative_size(self):
+        assert list(blocks_in_range(100, -5)) == []
+
+    def test_single_block(self):
+        assert list(blocks_in_range(0, 1)) == [0]
+
+    def test_straddling_range(self):
+        # [15, 18) overlaps blocks 0 and 1.
+        assert list(blocks_in_range(15, 3)) == [0, 1]
+
+    def test_exact_blocks(self):
+        assert list(blocks_in_range(32, 32)) == [2, 3]
+
+    @given(st.integers(0, 1 << 24), st.integers(1, 4096))
+    def test_covers_all_bytes(self, base, size):
+        blocks = list(blocks_in_range(base, size))
+        assert blocks[0] == base // 16
+        assert blocks[-1] == (base + size - 1) // 16
+        # Contiguous.
+        assert blocks == list(range(blocks[0], blocks[-1] + 1))
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(0x1234, 0x100) == 0x1200
+
+    def test_align_up(self):
+        assert align_up(0x1234, 0x100) == 0x1300
+
+    def test_align_up_already_aligned(self):
+        assert align_up(0x1200, 0x100) == 0x1200
+
+    @given(st.integers(0, 1 << 30), st.sampled_from([16, 64, 4096]))
+    def test_align_invariants(self, addr, gran):
+        down, up = align_down(addr, gran), align_up(addr, gran)
+        assert down % gran == 0 and up % gran == 0
+        assert down <= addr <= up
+        assert up - down in (0, gran)

@@ -1,0 +1,41 @@
+"""Bus broadcast and listener semantics."""
+
+from repro.memsys.bus import Bus, BusOp, BusTransaction
+
+
+class TestBus:
+    def test_transaction_count(self):
+        bus = Bus()
+        bus.transaction(0, 0, 0x100, BusOp.READ)
+        bus.transaction(1, 1, 0x200, BusOp.WRITE)
+        assert bus.transaction_count == 2
+
+    def test_listener_receives_all(self):
+        bus = Bus()
+        seen = []
+        bus.attach(seen.append)
+        bus.transaction(5, 2, 0x300, BusOp.UNCACHED_READ)
+        assert seen == [BusTransaction(5, 2, 0x300, BusOp.UNCACHED_READ)]
+
+    def test_multiple_listeners(self):
+        bus = Bus()
+        a, b = [], []
+        bus.attach(a.append)
+        bus.attach(b.append)
+        bus.transaction(0, 0, 0, BusOp.READ)
+        assert len(a) == len(b) == 1
+
+    def test_detach(self):
+        bus = Bus()
+        seen = []
+        listener = seen.append
+        bus.attach(listener)
+        bus.detach(listener)
+        bus.transaction(0, 0, 0, BusOp.READ)
+        assert seen == []
+
+    def test_no_listener_is_cheap_and_counted(self):
+        bus = Bus()
+        for i in range(10):
+            bus.transaction(i, 0, i, BusOp.READ)
+        assert bus.transaction_count == 10

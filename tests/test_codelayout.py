@@ -1,0 +1,101 @@
+"""Code-layout optimizer."""
+
+import pytest
+
+from repro.kernel.layout import ICACHE_BYTES, KernelLayout
+from repro.memsys.memory import KTEXT_BASE, KTEXT_SIZE
+from repro.opt.codelayout import (
+    LayoutPlan,
+    conflict_cost,
+    optimize_layout,
+)
+
+
+@pytest.fixture(scope="module")
+def default_layout():
+    return KernelLayout()
+
+
+def engineered_heat(layout) -> dict:
+    """Heat concentrated on the engineered conflict pairs."""
+    return {
+        "fs_read": 1000.0,
+        "disk_driver_hot": 900.0,
+        "syscall_entry": 800.0,
+        "tty_driver_hot": 700.0,
+        "runq_switch": 600.0,
+        "clock_intr": 500.0,
+        "excvec_entry": 400.0,
+        "fs_write": 300.0,
+    }
+
+
+class TestConflictCost:
+    def test_default_layout_has_conflicts(self, default_layout):
+        heat = engineered_heat(default_layout)
+        assert conflict_cost(default_layout, heat) > 0
+
+    def test_zero_heat_zero_cost(self, default_layout):
+        assert conflict_cost(default_layout, {}) == 0.0
+
+    def test_cost_scales_with_heat(self, default_layout):
+        heat = engineered_heat(default_layout)
+        doubled = {name: 2 * value for name, value in heat.items()}
+        assert conflict_cost(default_layout, doubled) == pytest.approx(
+            2 * conflict_cost(default_layout, heat)
+        )
+
+
+class TestOptimize:
+    def test_cost_reduced(self, default_layout):
+        heat = engineered_heat(default_layout)
+        plan = optimize_layout(default_layout, heat)
+        assert plan.predicted_cost_after < plan.predicted_cost_before
+
+    def test_hot_routines_deconflicted(self, default_layout):
+        heat = engineered_heat(default_layout)
+        plan = optimize_layout(default_layout, heat)
+        optimized = plan.build()
+        # Hot routines fit comfortably in 64 KB: the optimizer must
+        # eliminate all pairwise conflicts among them.
+        hot = [optimized.routine(name) for name in heat]
+        for i, a in enumerate(hot):
+            for b in hot[i + 1:]:
+                assert not a.conflicts_with(b), (a.name, b.name)
+
+    def test_all_routines_preserved(self, default_layout):
+        plan = optimize_layout(default_layout, engineered_heat(default_layout))
+        optimized = plan.build()
+        assert set(optimized.routines) == set(default_layout.routines)
+        for name, routine in default_layout.routines.items():
+            assert optimized.routine(name).size == routine.size
+
+    def test_no_overlaps_in_plan(self, default_layout):
+        plan = optimize_layout(default_layout, engineered_heat(default_layout))
+        optimized = plan.build()
+        spans = sorted(
+            (r.base, r.end, r.name) for r in optimized.routines.values()
+        )
+        for a, b in zip(spans, spans[1:]):
+            assert a[1] <= b[0], (a[2], b[2])
+
+    def test_fits_in_text(self, default_layout):
+        plan = optimize_layout(default_layout, engineered_heat(default_layout))
+        optimized = plan.build()
+        assert optimized.text_end <= KTEXT_BASE + KTEXT_SIZE
+
+    def test_summary_mentions_hot_count(self, default_layout):
+        plan = optimize_layout(default_layout, engineered_heat(default_layout))
+        assert "hot routines" in plan.summary()
+
+    def test_empty_heat_still_valid(self, default_layout):
+        plan = optimize_layout(default_layout, {})
+        assert set(plan.build().routines) == set(default_layout.routines)
+
+    def test_custom_spec_roundtrip(self, default_layout):
+        plan = optimize_layout(default_layout, engineered_heat(default_layout))
+        rebuilt = KernelLayout(spec=plan.spec)
+        first = plan.build()
+        assert {
+            name: routine.base for name, routine in rebuilt.routines.items()
+        } == {name: routine.base for name, routine in first.routines.items()}

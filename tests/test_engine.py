@@ -1,0 +1,224 @@
+"""User-mode engine: action execution semantics."""
+
+import pytest
+
+from repro.common.types import Mode
+from repro.kernel.process import DATA_VBASE, Image, ProcState
+from repro.sim.usermode import BLOCKED, EXITED, RAN, SWITCHED, UserEngine
+from repro.workloads import actions as A
+from repro.workloads.base import EngineConfig
+from tests.test_kernel_core import make_kernel
+from repro.common.rng import substream
+
+
+def make_engine(driver_factory, num_procs=1):
+    kernel, cpus = make_kernel()
+    kernel.fs.register_file(50, 16 * 4096, "binary")
+    kernel.fs.register_file(60, 32 * 1024, "file")
+    engine = UserEngine(kernel, EngineConfig(), substream(0, "engine-test"))
+    image = Image("prog", text_pages=2, file_ino=50)
+    from repro.workloads.base import preload_image
+
+    preload_image(kernel, image)
+    procs = []
+    for i in range(num_procs):
+        process = kernel.create_process(f"p{i}", image, driver_factory(i))
+        process.data_pages = 8
+        procs.append(process)
+    kernel.current[0] = procs[0]
+    procs[0].state = ProcState.RUNNING
+    procs[0].note_dispatch(0)
+    cpus[0].set_mode(Mode.USER)
+    return kernel, cpus, engine, procs
+
+
+SLICE = 8000
+
+
+class TestCompute:
+    def test_compute_consumes_budget(self):
+        def driver(_i):
+            yield A.Compute(100_000)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        outcome = engine.run_slice(cpus[0], procs[0], SLICE)
+        assert outcome == RAN
+        assert cpus[0].mode_cycles[Mode.USER] >= SLICE * 0.8
+
+    def test_compute_finishes_then_exits(self):
+        def driver(_i):
+            yield A.Compute(1000)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        outcome = engine.run_slice(cpus[0], procs[0], SLICE * 100)
+        assert outcome == EXITED
+        assert procs[0].exited
+
+    def test_compute_faults_demand_zero(self):
+        def driver(_i):
+            yield A.Compute(500_000, write_fraction=1.0)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        engine.run_slice(cpus[0], procs[0], 200_000)
+        assert kernel.tlbfaults.demand_zero_faults > 0
+
+
+class TestFileActions:
+    def test_read_blocks_then_completes(self):
+        def driver(_i):
+            yield A.ReadFile(60, 0, 2048)
+            yield A.Compute(10**9)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        outcome = engine.run_slice(cpus[0], procs[0], SLICE)
+        assert outcome == BLOCKED
+        assert procs[0].state is ProcState.SLEEPING
+        from tests.test_fs import drain_disk
+
+        drain_disk(kernel, cpus[0])
+        kernel.scheduler.dispatch(cpus[0])
+        outcome = engine.run_slice(cpus[0], procs[0], SLICE)
+        assert outcome == RAN  # read finished, compute underway
+        assert kernel.fs.read_bytes == 2048
+
+    def test_write_does_not_block(self):
+        def driver(_i):
+            yield A.WriteFile(60, 0, 1024)
+            yield A.Compute(10**9)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        assert engine.run_slice(cpus[0], procs[0], SLICE) == RAN
+
+    def test_open_counts_syscall(self):
+        def driver(_i):
+            yield A.OpenFile(60)
+            yield A.Compute(10**9)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        engine.run_slice(cpus[0], procs[0], SLICE)
+        assert kernel.syscalls.counts["open"] == 1
+
+
+class TestUserLocks:
+    def test_uncontended_acquire_release(self):
+        def driver(_i):
+            yield A.UserLockAcquire(1)
+            yield A.Compute(100)
+            yield A.UserLockRelease(1)
+            yield A.Compute(10**9)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        # Generous slice: the first compute touch demand-faults a page
+        # (a ~10k-cycle bclear) before the release can run.
+        engine.run_slice(cpus[0], procs[0], SLICE * 20)
+        lock = engine.user_locks[1]
+        assert lock.acquires == 1
+        assert lock.holder_pid is None
+
+    def test_contended_acquire_sginaps(self):
+        def holder(_i):
+            yield A.UserLockAcquire(1)
+            yield A.Compute(10**9)
+
+        kernel, cpus, engine, procs = make_engine(holder, num_procs=2)
+        engine.run_slice(cpus[0], procs[0], SLICE)  # p0 holds lock 1
+        waiter = procs[1]
+        waiter.driver = iter([A.UserLockAcquire(1), A.Compute(10**9)])
+        kernel.current[1] = waiter
+        waiter.state = ProcState.RUNNING
+        cpus[1].set_mode(Mode.USER)
+        sginaps = kernel.syscalls.counts["sginap"]
+        engine.run_slice(cpus[1], waiter, SLICE)
+        assert kernel.syscalls.counts["sginap"] > sginaps
+        assert engine.lock_sginaps > 0
+
+    def test_reacquire_by_holder_rejected(self):
+        def driver(_i):
+            yield A.UserLockAcquire(1)
+            yield A.UserLockAcquire(1)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        with pytest.raises(RuntimeError):
+            engine.run_slice(cpus[0], procs[0], SLICE * 10)
+
+    def test_short_overlap_spins_without_sginap(self):
+        def driver(_i):
+            yield A.Compute(10**9)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        from repro.sim.usermode import UserLock
+
+        # A recorded hold interval ending 300 cycles from now.
+        engine.user_locks[9] = UserLock(holder_pid=None, release_time=300)
+        action = A.UserLockAcquire(9)
+        procs[0].pending_action = action
+        outcome = engine._execute(cpus[0], procs[0], action, 10**9)
+        assert outcome == "done"
+        assert action.spins_done > 0
+        assert kernel.syscalls.counts["sginap"] == 0
+
+
+class TestProcessActions:
+    def test_fork_returns_child_via_action(self):
+        def child_driver():
+            yield A.Compute(100)
+
+        def driver(_i):
+            fork = A.Fork("kid", child_driver)
+            yield fork
+            assert fork.child is not None
+            yield A.Compute(10**9)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        engine.run_slice(cpus[0], procs[0], SLICE)
+        assert kernel.syscalls.counts["fork"] == 1
+
+    def test_sleepfor_blocks_once(self):
+        def driver(_i):
+            yield A.SleepFor(1.0)
+            yield A.Compute(10**9)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        assert engine.run_slice(cpus[0], procs[0], SLICE) == BLOCKED
+        # Wake via the timer and confirm it does NOT re-sleep.
+        procs[0].state = ProcState.RUNNING
+        kernel.current[0] = procs[0]
+        cpus[0].advance(100_000)
+        kernel.pop_due_timers(cpus[0])
+        assert engine.run_slice(cpus[0], procs[0], SLICE) == RAN
+
+    def test_termwait_consumes_pending_input(self):
+        def driver(_i):
+            yield A.TermWait(3)
+            yield A.Compute(10**9)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        kernel.tty_input[3] = 10
+        assert engine.run_slice(cpus[0], procs[0], SLICE) == RAN
+        assert kernel.tty_input[3] == 0
+
+    def test_termwait_blocks_without_input(self):
+        def driver(_i):
+            yield A.TermWait(3)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        assert engine.run_slice(cpus[0], procs[0], SLICE) == BLOCKED
+
+    def test_semop_block_and_retry(self):
+        def driver(_i):
+            yield A.SemOp(5, -1)
+            yield A.Compute(10**9)
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        assert engine.run_slice(cpus[0], procs[0], SLICE) == BLOCKED
+        kernel.semaphores[5] = 1
+        procs[0].state = ProcState.RUNNING
+        kernel.current[0] = procs[0]
+        assert engine.run_slice(cpus[0], procs[0], SLICE) == RAN
+
+    def test_driver_exhaustion_exits(self):
+        def driver(_i):
+            yield A.Misc()
+
+        kernel, cpus, engine, procs = make_engine(driver)
+        assert engine.run_slice(cpus[0], procs[0], SLICE * 10) == EXITED

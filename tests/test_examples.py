@@ -1,0 +1,28 @@
+"""The example scripts must run end to end (shortened horizons)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(monkeypatch, capsys, name, argv):
+    monkeypatch.setattr(sys, "argv", argv)
+    runpy.run_path(f"examples/{name}.py", run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart_runs(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart",
+                      ["quickstart.py", "pmake", "8"])
+    assert "Table 1 style summary" in out
+    assert "three major OS miss sources" in out
+
+
+@pytest.mark.slow
+def test_custom_workload_runs(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "custom_workload",
+                      ["custom_workload.py"])
+    assert "toy server" in out
+    assert "forks serviced" in out

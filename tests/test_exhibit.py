@@ -1,0 +1,119 @@
+"""Exhibit formatting and the derivation helpers."""
+
+import pytest
+
+from repro.analysis.decode import TraceAnalysis
+from repro.common.types import MissClass, RefDomain
+from repro.experiments.base import Exhibit
+from repro.experiments.derive import (
+    blockop_shares_pct,
+    dmiss_class_shares_pct,
+    imiss_class_shares_pct,
+    invocation_interval_ms,
+    mean_invocation_misses,
+    migration_misses,
+    migration_shares_pct,
+)
+from repro.kernel.structures import StructName
+
+OS = RefDomain.OS
+
+
+class TestExhibitFormatting:
+    def make(self) -> Exhibit:
+        exhibit = Exhibit("tableX", "Test exhibit", ("a", "b", "c"))
+        exhibit.add_row("row1", 1.234, "x")
+        exhibit.add_row("row2", 5, "yy")
+        exhibit.note("a note")
+        return exhibit
+
+    def test_text_contains_everything(self):
+        text = self.make().to_text()
+        assert "tableX" in text
+        assert "row1" in text and "row2" in text
+        assert "1.2" in text  # floats to one decimal
+        assert "a note" in text
+
+    def test_columns_aligned(self):
+        lines = self.make().to_text().splitlines()
+        header, rule = lines[1], lines[2]
+        assert len(header) == len(rule)
+
+    def test_row_dict(self):
+        exhibit = self.make()
+        assert exhibit.row_dict()["row1"][1] == 1.234
+
+    def test_empty_exhibit_renders(self):
+        exhibit = Exhibit("t", "empty", ("only",))
+        assert "empty" in exhibit.to_text()
+
+
+def synthetic_analysis() -> TraceAnalysis:
+    analysis = TraceAnalysis("syn", 4)
+    analysis.miss_counts[(OS, "D", MissClass.SHARING)] = 100
+    analysis.miss_counts[(OS, "D", MissClass.COLD)] = 60
+    analysis.miss_counts[(OS, "I", MissClass.DISPOS)] = 40
+    analysis.sharing_by_struct[StructName.KERNEL_STACK] = 30
+    analysis.sharing_by_struct[StructName.PCB] = 10
+    analysis.sharing_by_struct[StructName.EFRAME] = 5
+    analysis.sharing_by_struct[StructName.USTRUCT_REST] = 5
+    analysis.sharing_by_struct[StructName.PROC_TABLE] = 20
+    analysis.sharing_by_struct[StructName.BUFFER] = 30
+    analysis.blockop_misses["copy"] = 16
+    analysis.blockop_misses["clear"] = 8
+    return analysis
+
+
+class TestDerivations:
+    def test_migration_misses(self):
+        counts = migration_misses(synthetic_analysis())
+        assert counts["kernel_stack"] == 30
+        assert counts["user_structure"] == 20  # PCB + Eframe + rest
+        assert counts["process_table"] == 20
+        assert counts["total"] == 70
+
+    def test_migration_shares(self):
+        shares = migration_shares_pct(synthetic_analysis())
+        assert shares["total"] == pytest.approx(100.0 * 70 / 160)
+
+    def test_blockop_shares(self):
+        shares = blockop_shares_pct(synthetic_analysis())
+        assert shares["copy"] == pytest.approx(10.0)
+        assert shares["clear"] == pytest.approx(5.0)
+        assert shares["traverse"] == 0.0
+        assert shares["total"] == pytest.approx(15.0)
+
+    def test_class_shares_normalized_to_all_os_misses(self):
+        analysis = synthetic_analysis()
+        i_shares = imiss_class_shares_pct(analysis)
+        d_shares = dmiss_class_shares_pct(analysis)
+        total = sum(i_shares.values()) + sum(d_shares.values())
+        assert total == pytest.approx(100.0)
+
+    def test_empty_analysis_safe(self):
+        empty = TraceAnalysis("e", 4)
+        assert migration_shares_pct(empty)["total"] == 0.0
+        assert blockop_shares_pct(empty)["total"] == 0.0
+        assert imiss_class_shares_pct(empty) == {}
+        assert invocation_interval_ms(empty) == float("inf")
+        assert mean_invocation_misses(empty) == (0.0, 0.0)
+
+    def test_invocation_interval(self):
+        from repro.analysis.decode import OsInvocation
+
+        analysis = TraceAnalysis("syn", 4)
+        analysis.measured_ticks = 1_000_000
+        analysis.invocations = [OsInvocation("io_syscall", 0, 10, 1, 2)] * 100
+        # 4M CPU-ticks = 8M cycles over 100 invocations = 80k cycles each
+        # = 2.4 ms at 33 MHz.
+        assert invocation_interval_ms(analysis) == pytest.approx(2.4)
+
+    def test_mean_invocation_misses(self):
+        from repro.analysis.decode import OsInvocation
+
+        analysis = TraceAnalysis("syn", 4)
+        analysis.invocations = [
+            OsInvocation("io_syscall", 0, 10, 10, 20),
+            OsInvocation("interrupt", 0, 10, 30, 40),
+        ]
+        assert mean_invocation_misses(analysis) == (20.0, 30.0)

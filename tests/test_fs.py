@@ -1,0 +1,198 @@
+"""Filesystem: buffer cache, disk model, read/write paths."""
+
+import pytest
+
+from repro.common.rng import substream
+from repro.common.types import Mode
+from repro.kernel.fs import BUFFER_BYTES, Disk, READAHEAD_BUFFERS
+from repro.kernel.process import Image, ProcState
+from tests.test_kernel_core import dummy_driver, make_kernel
+
+
+
+def drain_disk(kernel, proc):
+    """Advance time past every pending disk completion and service it."""
+    due = kernel.fs.disk.next_time()
+    while due is not None:
+        proc.advance_to(due + 1)
+        kernel.service_disk(proc)
+        due = kernel.fs.disk.next_time()
+
+@pytest.fixture
+def env():
+    kernel, cpus = make_kernel()
+    kernel.fs.register_file(100, 64 * 1024, "data")
+    image = Image("x", text_pages=1, file_ino=99)
+    process = kernel.create_process("p", image, dummy_driver())
+    kernel.current[0] = process
+    cpus[0].set_mode(Mode.USER)
+    return kernel, cpus, process
+
+
+class TestDisk:
+    def test_fcfs_serialization(self):
+        disk = Disk(substream(0, "d"), 33333.0)
+        t1 = disk.schedule(0, ("read", 1, (0,)))
+        t2 = disk.schedule(0, ("read", 1, (1,)))
+        assert t2 > t1
+
+    def test_pop_due_order(self):
+        disk = Disk(substream(0, "d"), 33333.0)
+        disk.schedule(0, ("a",))
+        disk.schedule(0, ("b",))
+        done = disk.pop_due(10**9)
+        assert done == [("a",), ("b",)]
+
+    def test_nothing_due_early(self):
+        disk = Disk(substream(0, "d"), 33333.0)
+        disk.schedule(0, ("a",))
+        assert disk.pop_due(0) == []
+
+    def test_service_scale_shortens(self):
+        slow = Disk(substream(5, "d"), 33333.0)
+        fast = Disk(substream(5, "d"), 33333.0)
+        t_slow = slow.schedule(0, ("a",))
+        t_fast = fast.schedule(0, ("a",), service_scale=0.1)
+        assert t_fast < t_slow
+
+    def test_next_time(self):
+        disk = Disk(substream(0, "d"), 33333.0)
+        assert disk.next_time() is None
+        t = disk.schedule(0, ("a",))
+        assert disk.next_time() == t
+
+
+class TestBufferCache:
+    def test_miss_then_hit(self, env):
+        kernel, cpus, _ = env
+        bc = kernel.fs.buffer_cache
+        assert bc.lookup(cpus[0], 100, 0) is None
+        entry = bc.getblk(cpus[0], 100, 0)
+        assert bc.lookup(cpus[0], 100, 0) is entry
+
+    def test_getblk_takes_bfreelock(self, env):
+        kernel, cpus, _ = env
+        before = kernel.locks.lock("bfreelock").stats.acquires
+        kernel.fs.buffer_cache.getblk(cpus[0], 100, 0)
+        assert kernel.locks.lock("bfreelock").stats.acquires == before + 1
+
+    def test_buffers_share_frames(self, env):
+        kernel, cpus, _ = env
+        bc = kernel.fs.buffer_cache
+        entries = [bc.getblk(cpus[0], 100, i) for i in range(4)]
+        frames = {e.frame for e in entries}
+        assert len(frames) == 1  # four quarter-page buffers per frame
+        offsets = {e.offset_in_frame for e in entries}
+        assert offsets == {0, 1024, 2048, 3072}
+
+    def test_lru_eviction_when_full(self, env):
+        kernel, cpus, _ = env
+        bc = kernel.fs.buffer_cache
+        from repro.kernel.structures import NBUF
+
+        for i in range(NBUF + 1):
+            entry = bc.getblk(cpus[0], 100, i)
+            entry.valid = True
+        assert bc.lookup(cpus[0], 100, 0) is None  # LRU victim
+        assert bc.cached_buffers() == NBUF
+
+    def test_reclaim_frame(self, env):
+        kernel, cpus, _ = env
+        bc = kernel.fs.buffer_cache
+        entry = bc.getblk(cpus[0], 100, 0)
+        entry.valid = True
+        frame = entry.frame
+        assert bc.reclaim_frame(cpus[0], frame)
+        assert bc.lookup(cpus[0], 100, 0) is None
+
+    def test_reclaim_skips_io_pending(self, env):
+        kernel, cpus, _ = env
+        bc = kernel.fs.buffer_cache
+        entry = bc.getblk(cpus[0], 100, 0)
+        entry.io_pending = True
+        assert not bc.reclaim_frame(cpus[0], entry.frame)
+
+
+class TestReadPath:
+    def test_cold_read_sleeps_and_schedules_io(self, env):
+        kernel, cpus, process = env
+        done, progress = kernel.fs.do_read(cpus[0], process, 100, 0, 2048, 0)
+        assert not done
+        assert process.state is ProcState.SLEEPING
+        assert kernel.fs.disk.pending() == 1
+
+    def test_readahead_fills_run(self, env):
+        kernel, cpus, process = env
+        kernel.fs.do_read(cpus[0], process, 100, 0, 1024, 0)
+        drain_disk(kernel, cpus[0])
+        resident = sum(
+            1 for fb in range(READAHEAD_BUFFERS)
+            if (100, fb) in kernel.fs.buffer_cache._entries
+            and kernel.fs.buffer_cache._entries[(100, fb)].valid
+        )
+        assert resident == READAHEAD_BUFFERS
+
+    def test_read_completes_after_wakeup(self, env):
+        kernel, cpus, process = env
+        done, progress = kernel.fs.do_read(cpus[0], process, 100, 0, 2048, 0)
+        drain_disk(kernel, cpus[0])
+        assert process.state is ProcState.RUNNABLE
+        done, progress = kernel.fs.do_read(
+            cpus[0], process, 100, 0, 2048, progress
+        )
+        assert done and progress == 2048
+
+    def test_read_clamps_to_file_size(self, env):
+        kernel, cpus, process = env
+        kernel.fs.register_file(101, 100, "tiny")
+        done, progress = kernel.fs.do_read(cpus[0], process, 101, 0, 4096, 0)
+        if not done:
+            drain_disk(kernel, cpus[0])
+            done, progress = kernel.fs.do_read(
+                cpus[0], process, 101, 0, 4096, progress
+            )
+        assert done and progress == 100
+
+    def test_warm_read_does_not_sleep(self, env):
+        kernel, cpus, process = env
+        kernel.fs.do_read(cpus[0], process, 100, 0, 1024, 0)
+        drain_disk(kernel, cpus[0])
+        done, _ = kernel.fs.do_read(cpus[0], process, 100, 0, 1024, 0)
+        assert done
+
+
+class TestWritePath:
+    def test_write_never_blocks(self, env):
+        kernel, cpus, process = env
+        kernel.fs.do_write(cpus[0], process, 100, 0, 4096)
+        assert process.state is not ProcState.SLEEPING
+
+    def test_write_extends_file(self, env):
+        kernel, cpus, process = env
+        kernel.fs.register_file(102, 0, "new")
+        kernel.fs.do_write(cpus[0], process, 102, 0, 3000)
+        assert kernel.fs.file(102).size == 3000
+
+    def test_write_dirties_buffers(self, env):
+        kernel, cpus, process = env
+        kernel.fs.do_write(cpus[0], process, 100, 0, 1024)
+        entry = kernel.fs.buffer_cache._entries[(100, 0)]
+        assert entry.dirty and entry.valid
+
+    def test_new_space_allocates_disk_blocks(self, env):
+        kernel, cpus, process = env
+        kernel.fs.register_file(103, 0, "new2")
+        before = kernel.locks.lock("dfbmaplk").stats.acquires
+        kernel.fs.do_write(cpus[0], process, 103, 0, 2048)
+        assert kernel.locks.lock("dfbmaplk").stats.acquires > before
+
+
+class TestOpen:
+    def test_every_open_goes_through_ifree(self, env):
+        """iget always touches the free list (System V keeps inactive
+        in-core inodes there), making Ifree a hot lock (Table 12)."""
+        kernel, cpus, _ = env
+        ifree_before = kernel.locks.lock("ifree").stats.acquires
+        kernel.fs.do_open(cpus[0], 100)
+        kernel.fs.do_open(cpus[0], 100)
+        assert kernel.locks.lock("ifree").stats.acquires == ifree_before + 2

@@ -1,0 +1,112 @@
+"""Whole-system fuzzing: arbitrary workloads must never wedge the machine.
+
+Hypothesis generates random process behaviours from the full action
+vocabulary; whatever they do, the simulation must reach its horizon with
+the system invariants intact.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.process import Image, ProcState
+from repro.sim.session import Simulation
+from repro.workloads import actions as A
+from repro.workloads.base import Workload, preload_image
+
+_FILE0 = 900
+_NUM_FILES = 4
+
+# One generated step: (kind, small integer parameter).
+STEP = st.tuples(
+    st.sampled_from(
+        ["compute", "read", "write", "open", "misc", "sginap", "lock",
+         "sem", "sleep", "brk", "fork"]
+    ),
+    st.integers(0, 3),
+)
+
+
+def _actions_from(steps, rank):
+    """Translate generated steps into a driver, guaranteeing that taken
+    locks are released within a few steps."""
+    held = None
+    for kind, arg in steps:
+        if kind == "compute":
+            yield A.Compute(2000 + arg * 3000, write_fraction=0.3)
+        elif kind == "read":
+            yield A.ReadFile(_FILE0 + arg, arg * 1024, 1024)
+        elif kind == "write":
+            yield A.WriteFile(_FILE0 + arg, arg * 1024, 512)
+        elif kind == "open":
+            yield A.OpenFile(_FILE0 + arg)
+        elif kind == "misc":
+            yield A.Misc(["time", "stat", "signal", "ioctl"][arg])
+        elif kind == "sginap":
+            yield A.Sginap()
+        elif kind == "lock":
+            if held is None:
+                yield A.UserLockAcquire(arg)
+                held = arg
+                yield A.Compute(1000)
+                yield A.UserLockRelease(held)
+                held = None
+        elif kind == "sem":
+            # V before P so the pair cannot deadlock alone.
+            yield A.SemOp(arg, +1)
+            yield A.SemOp(arg, -1)
+        elif kind == "sleep":
+            yield A.SleepFor(0.2 + 0.3 * arg)
+        elif kind == "brk":
+            yield A.Brk(8 + 4 * arg)
+        elif kind == "fork":
+            def _child():
+                yield A.Compute(3000)
+            yield A.Fork(f"kid-{rank}-{arg}", lambda: _child())
+    # Tail: keep the process alive so the run queue never empties early.
+    for _ in itertools.count():
+        yield A.Compute(20_000)
+
+
+class _FuzzWorkload(Workload):
+    name = "fuzz"
+
+    def __init__(self, programs):
+        super().__init__()
+        self.programs = programs
+
+    def setup(self, kernel, rng) -> None:
+        for ino in range(_FILE0, _FILE0 + _NUM_FILES):
+            kernel.fs.register_file(ino, 16 * 1024, f"f{ino}")
+        kernel.fs.register_file(_FILE0 + 50, 4 * 4096, "bin")
+        image = Image("fuzzbin", text_pages=4, file_ino=_FILE0 + 50)
+        preload_image(kernel, image)
+        for rank, steps in enumerate(self.programs):
+            process = kernel.create_process(
+                f"fuzz-{rank}", image, _actions_from(steps, rank)
+            )
+            process.data_pages = 24
+            process.state = ProcState.RUNNABLE
+            kernel.scheduler.run_queue.append(process)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(st.lists(STEP, max_size=12), min_size=1, max_size=3),
+    st.integers(0, 100),
+)
+def test_random_workloads_complete_cleanly(programs, seed):
+    sim = Simulation(_FuzzWorkload(programs), seed=seed)
+    sim.run(3.0, warmup_ms=0.0)
+    kernel = sim.kernel
+    # The machine reached the horizon with its invariants intact.
+    horizon = sim.horizon_cycles
+    assert all(proc.cycles >= horizon for proc in sim.processors)
+    for lock in kernel.locks.all_locks():
+        assert lock.holder_cpu is None, lock.name
+        assert lock.stats.acquires == lock.stats.releases
+    phys = kernel.memsys.memory
+    assert len(phys._allocated) + phys.free_frame_count() == phys.num_frames
+    # Trace classification stays consistent with bus traffic.
+    truth = kernel.memsys.truth
+    assert truth.total_misses() <= kernel.memsys.total_bus_transactions()

@@ -1,0 +1,87 @@
+"""Image lifecycle: System V text release and frame recycling."""
+
+import pytest
+
+from repro.common.types import Mode
+from repro.kernel.process import Image, ProcState
+from repro.workloads.base import preload_image
+from tests.test_kernel_core import dummy_driver, make_kernel
+
+
+@pytest.fixture
+def env():
+    kernel, cpus = make_kernel()
+    kernel.fs.register_file(50, 8 * 4096, "prog")
+    kernel.fs.register_file(51, 4 * 4096, "other")
+    return kernel, cpus
+
+
+class TestTextRelease:
+    def test_exit_of_last_user_frees_text(self, env):
+        kernel, cpus = env
+        image = Image("prog", text_pages=4, file_ino=50)
+        preload_image(kernel, image)
+        process = kernel.create_process("p", image, dummy_driver())
+        kernel.current[0] = process
+        process.state = ProcState.RUNNING
+        frames = list(image.frames)
+        free_before = kernel.memsys.memory.free_frame_count()
+        kernel.syscalls.exit(cpus[0], process)
+        assert all(f == -1 for f in image.frames)
+        assert kernel.memsys.memory.free_frame_count() == free_before + 4
+        # The freed frames are flagged as having contained code.
+        assert set(frames) <= kernel.vm.frame_was_text
+
+    def test_exit_with_sibling_keeps_text(self, env):
+        kernel, cpus = env
+        image = Image("prog", text_pages=4, file_ino=50)
+        preload_image(kernel, image)
+        a = kernel.create_process("a", image, dummy_driver())
+        b = kernel.create_process("b", image, dummy_driver())
+        kernel.current[0] = a
+        a.state = ProcState.RUNNING
+        kernel.syscalls.exit(cpus[0], a)
+        assert all(f >= 0 for f in image.frames)
+        assert image.refcount == 1
+
+    def test_exec_away_releases_old_image(self, env):
+        kernel, cpus = env
+        old = Image("prog", text_pages=4, file_ino=50)
+        new = Image("other", text_pages=4, file_ino=51)
+        preload_image(kernel, old)
+        process = kernel.create_process("p", old, dummy_driver())
+        kernel.current[0] = process
+        process.state = ProcState.RUNNING
+        cpus[0].set_mode(Mode.USER)
+        kernel.syscalls.exec(cpus[0], process, new, data_pages=4)
+        assert all(f == -1 for f in old.frames)
+        assert old.refcount == 0
+
+    def test_reused_code_frame_flushes_icaches(self, env):
+        kernel, cpus = env
+        image = Image("prog", text_pages=1, file_ino=50)
+        preload_image(kernel, image)
+        process = kernel.create_process("p", image, dummy_driver())
+        kernel.current[0] = process
+        process.state = ProcState.RUNNING
+        frame = image.frames[0]
+        kernel.syscalls.exit(cpus[0], process)
+        flushes = kernel.vm.stats_icache_flushes
+        # Drain the FIFO until the code frame is reallocated.
+        for _ in range(kernel.memsys.memory.free_frame_count()):
+            if kernel.vm.alloc_frame(cpus[0], "data", None) == frame:
+                break
+        assert kernel.vm.stats_icache_flushes == flushes + 1
+
+    def test_registry_tracks_images(self, env):
+        kernel, _cpus = env
+        image = Image("prog", text_pages=1, file_ino=50)
+        kernel.create_process("p", image, dummy_driver())
+        assert kernel.images["prog"] is image
+
+    def test_release_noop_while_referenced(self, env):
+        kernel, cpus = env
+        image = Image("prog", text_pages=2, file_ino=50)
+        preload_image(kernel, image)
+        kernel.create_process("p", image, dummy_driver())
+        assert kernel.release_image_if_dead(cpus[0], image) == 0

@@ -1,0 +1,175 @@
+"""Kernel facade: invocations, sleep/wakeup, timers, address spaces."""
+
+import pytest
+
+from repro.common.params import MachineParams
+from repro.common.types import HighLevelOp, Mode
+from repro.cpu.processor import Processor
+from repro.kernel.kernel import Kernel, KernelTuning
+from repro.kernel.process import Image, ProcState
+from repro.kernel.vm import VmTuning
+from repro.memsys.system import MemorySystem
+
+
+def make_kernel(num_cpus=4, baseline_frames=512):
+    params = MachineParams(num_cpus=num_cpus)
+    memsys = MemorySystem(params)
+    cpus = [Processor(i, params, memsys) for i in range(num_cpus)]
+    tuning = KernelTuning(vm=VmTuning(baseline_frames=baseline_frames))
+    kernel = Kernel(params, memsys, cpus, tuning=tuning)
+    return kernel, cpus
+
+
+def dummy_driver():
+    while True:
+        yield None
+
+
+@pytest.fixture
+def kernel_and_cpus():
+    return make_kernel()
+
+
+class TestOsInvocation:
+    def test_mode_switches(self, kernel_and_cpus):
+        kernel, cpus = kernel_and_cpus
+        proc = cpus[0]
+        with kernel.os_invocation(proc, HighLevelOp.OTHER_SYSCALL):
+            assert proc.mode is Mode.KERNEL
+        assert proc.mode is Mode.IDLE  # no current process
+
+    def test_mode_returns_to_user_with_process(self, kernel_and_cpus):
+        kernel, cpus = kernel_and_cpus
+        image = Image("x", text_pages=2, file_ino=1)
+        process = kernel.create_process("p", image, dummy_driver())
+        kernel.current[0] = process
+        with kernel.os_invocation(cpus[0], HighLevelOp.IO_SYSCALL):
+            pass
+        assert cpus[0].mode is Mode.USER
+
+    def test_invocation_counted(self, kernel_and_cpus):
+        kernel, cpus = kernel_and_cpus
+        with kernel.os_invocation(cpus[0], HighLevelOp.INTERRUPT):
+            pass
+        assert kernel.invocation_ops[HighLevelOp.INTERRUPT] == 1
+
+    def test_nested_invocations(self, kernel_and_cpus):
+        kernel, cpus = kernel_and_cpus
+        proc = cpus[0]
+        with kernel.os_invocation(proc, HighLevelOp.IO_SYSCALL):
+            with kernel.os_invocation(proc, HighLevelOp.INTERRUPT):
+                assert kernel.in_kernel(0)
+            assert proc.mode is Mode.KERNEL  # still inside the outer one
+        assert not kernel.in_kernel(0)
+
+    def test_op_cycles_accumulate(self, kernel_and_cpus):
+        kernel, cpus = kernel_and_cpus
+        with kernel.os_invocation(cpus[0], HighLevelOp.OTHER_SYSCALL):
+            cpus[0].advance(1234)
+        assert kernel.op_cycles[HighLevelOp.OTHER_SYSCALL] >= 1234
+
+
+class TestProcessLifecycle:
+    def test_create_assigns_pid_and_slot(self, kernel_and_cpus):
+        kernel, _ = kernel_and_cpus
+        image = Image("x", text_pages=1, file_ino=1)
+        a = kernel.create_process("a", image, dummy_driver())
+        b = kernel.create_process("b", image, dummy_driver())
+        assert a.pid != b.pid
+        assert a.slot != b.slot
+        assert image.refcount == 2
+
+    def test_free_recycles_slot(self, kernel_and_cpus):
+        kernel, _ = kernel_and_cpus
+        image = Image("x", text_pages=1, file_ino=1)
+        a = kernel.create_process("a", image, dummy_driver())
+        slot = a.slot
+        kernel.free_process(a)
+        b = kernel.create_process("b", image, dummy_driver())
+        assert b.slot == slot
+
+    def test_teardown_frees_private_frames(self, kernel_and_cpus):
+        kernel, cpus = kernel_and_cpus
+        image = Image("x", text_pages=1, file_ino=1)
+        process = kernel.create_process("a", image, dummy_driver())
+        frame = kernel.vm.alloc_frame(cpus[0], "data", (process.pid, 0x100))
+        process.data_frames[0x100] = frame
+        free_before = kernel.memsys.memory.free_frame_count()
+        kernel.teardown_address_space(cpus[0], process)
+        assert kernel.memsys.memory.free_frame_count() == free_before + 1
+        assert process.data_frames == {}
+
+    def test_teardown_keeps_shared_frames(self, kernel_and_cpus):
+        kernel, cpus = kernel_and_cpus
+        image = Image("x", text_pages=1, file_ino=1)
+        a = kernel.create_process("a", image, dummy_driver())
+        b = kernel.create_process("b", image, dummy_driver())
+        frame = kernel.vm.alloc_frame(cpus[0], "data", (a.pid, 0x100))
+        a.data_frames[0x100] = frame
+        b.data_frames[0x100] = frame
+        kernel.share_frame(frame)
+        free_before = kernel.memsys.memory.free_frame_count()
+        kernel.teardown_address_space(cpus[0], a)
+        assert kernel.memsys.memory.free_frame_count() == free_before
+        assert not kernel.frame_shared(frame)
+
+
+class TestSleepWakeup:
+    def test_wakeup_requeues_sleepers(self, kernel_and_cpus):
+        kernel, cpus = kernel_and_cpus
+        image = Image("x", text_pages=1, file_ino=1)
+        process = kernel.create_process("a", image, dummy_driver())
+        kernel.sleep(process, ("chan", 1))
+        assert process.state is ProcState.SLEEPING
+        woken = kernel.wakeup(("chan", 1), cpus[0])
+        assert woken == 1
+        assert process.state is ProcState.RUNNABLE
+        assert process in kernel.scheduler.run_queue
+
+    def test_wakeup_empty_channel(self, kernel_and_cpus):
+        kernel, cpus = kernel_and_cpus
+        assert kernel.wakeup(("nobody",), cpus[0]) == 0
+
+    def test_sleep_boosts_priority(self, kernel_and_cpus):
+        kernel, _ = kernel_and_cpus
+        image = Image("x", text_pages=1, file_ino=1)
+        process = kernel.create_process("a", image, dummy_driver())
+        process.priority = 30
+        kernel.sleep(process, "c")
+        assert process.priority == 28
+
+
+class TestTimers:
+    def test_timer_fires_at_deadline(self, kernel_and_cpus):
+        kernel, cpus = kernel_and_cpus
+        image = Image("x", text_pages=1, file_ino=1)
+        process = kernel.create_process("a", image, dummy_driver())
+        kernel.sleep_until(process, 1000)
+        cpus[0].advance(500)
+        assert kernel.pop_due_timers(cpus[0]) == []
+        cpus[0].advance(600)
+        assert kernel.pop_due_timers(cpus[0]) == [process]
+
+    def test_next_timer_cycles(self, kernel_and_cpus):
+        kernel, _ = kernel_and_cpus
+        assert kernel.next_timer_cycles() is None
+        image = Image("x", text_pages=1, file_ino=1)
+        process = kernel.create_process("a", image, dummy_driver())
+        kernel.sleep_until(process, 777)
+        assert kernel.next_timer_cycles() == 777
+
+
+class TestFrameRefcounting:
+    def test_share_unshare(self, kernel_and_cpus):
+        kernel, _ = kernel_and_cpus
+        assert not kernel.frame_shared(42)
+        kernel.share_frame(42)
+        assert kernel.frame_shared(42)
+        kernel.unshare_frame(42)
+        assert not kernel.frame_shared(42)
+
+    def test_routine_span(self, kernel_and_cpus):
+        kernel, _ = kernel_and_cpus
+        base, size = kernel.routine_span("bcopy")
+        assert size == 256
+        assert kernel.layout.routine_at(base) == "bcopy"

@@ -1,0 +1,93 @@
+"""Kernel text layout: placement, symbol lookup, engineered conflicts."""
+
+import pytest
+
+from repro.kernel.layout import ICACHE_BYTES, KernelLayout, Routine
+from repro.memsys.memory import KTEXT_BASE, KTEXT_SIZE
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return KernelLayout()
+
+
+class TestPlacement:
+    def test_all_routines_inside_text(self, layout):
+        for routine in layout.routines.values():
+            assert KTEXT_BASE <= routine.base
+            assert routine.end <= KTEXT_BASE + KTEXT_SIZE
+
+    def test_no_overlaps(self, layout):
+        spans = sorted(
+            (r.base, r.end, r.name) for r in layout.routines.values()
+        )
+        for a, b in zip(spans, spans[1:]):
+            assert a[1] <= b[0], f"{a[2]} overlaps {b[2]}"
+
+    def test_explicit_placements_honoured(self, layout):
+        assert layout.routine("excvec_entry").base == KTEXT_BASE
+        assert layout.routine("fs_read").base == KTEXT_BASE + 0x0A000
+
+    def test_expected_routines_exist(self, layout):
+        for name in ("utlbmiss", "bcopy", "bclear", "pfdat_scan",
+                     "runq_switch", "idle_loop", "disk_driver_hot",
+                     "syscall_entry", "sginap_impl"):
+            assert name in layout.routines
+
+    def test_kernel_text_is_substantial(self, layout):
+        """The image must exceed the I-cache several times over, or
+        self-interference could not occur."""
+        assert layout.text_end - KTEXT_BASE > 4 * ICACHE_BYTES
+
+
+class TestSymbolLookup:
+    def test_routine_at_base(self, layout):
+        fs_read = layout.routine("fs_read")
+        assert layout.routine_at(fs_read.base) == "fs_read"
+
+    def test_routine_at_interior(self, layout):
+        fs_read = layout.routine("fs_read")
+        assert layout.routine_at(fs_read.base + fs_read.size // 2) == "fs_read"
+
+    def test_routine_at_gap_returns_none(self, layout):
+        # Address one byte past the last routine.
+        assert layout.routine_at(layout.text_end) is None
+
+    def test_routine_at_every_base(self, layout):
+        for name, routine in layout.routines.items():
+            assert layout.routine_at(routine.base) == name
+
+
+class TestConflicts:
+    def test_engineered_conflicts_present(self, layout):
+        pairs = [
+            ("fs_read", "disk_driver_hot"),
+            ("syscall_entry", "tty_driver_hot"),
+            ("runq_switch", "clock_intr"),
+        ]
+        for a, b in pairs:
+            assert layout.routine(a).conflicts_with(layout.routine(b)), (a, b)
+
+    def test_adjacent_routines_do_not_conflict_when_close(self):
+        a = Routine("a", 0x1000, 256)
+        b = Routine("b", 0x2000, 256)
+        assert not a.conflicts_with(b)
+
+    def test_same_offset_mod_cache_conflicts(self):
+        a = Routine("a", 0x1000, 256)
+        b = Routine("b", 0x1000 + ICACHE_BYTES, 256)
+        assert a.conflicts_with(b)
+
+    def test_wraparound_span(self):
+        # Routine straddling the cache-image boundary.
+        a = Routine("a", ICACHE_BYTES - 128, 256)
+        b = Routine("b", ICACHE_BYTES, 64)  # maps to offset 0
+        assert a.conflicts_with(b)
+
+    def test_giant_routine_conflicts_with_everything(self):
+        a = Routine("a", 0, ICACHE_BYTES)
+        b = Routine("b", 5 * ICACHE_BYTES + 0x500, 64)
+        assert a.conflicts_with(b)
+
+    def test_conflicting_pairs_nonempty(self, layout):
+        assert len(layout.conflicting_pairs()) > 5

@@ -1,0 +1,91 @@
+"""Physical memory map and frame allocator."""
+
+import pytest
+
+from repro.common.params import MachineParams
+from repro.memsys.memory import (
+    ESCAPE_BASE,
+    FRAMES_BASE,
+    KDATA_BASE,
+    KTEXT_BASE,
+    OutOfMemoryError,
+    PhysicalMemory,
+)
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(MachineParams())
+
+
+class TestRegions:
+    def test_region_lookup(self, phys):
+        assert phys.region_of(KTEXT_BASE).name == "ktext"
+        assert phys.region_of(ESCAPE_BASE).name == "escape"
+        assert phys.region_of(KDATA_BASE).name == "kdata"
+        assert phys.region_of(FRAMES_BASE).name == "frames"
+
+    def test_regions_cover_memory_without_overlap(self, phys):
+        regions = sorted(phys.regions.values(), key=lambda r: r.base)
+        assert regions[0].base == 0
+        for a, b in zip(regions, regions[1:]):
+            assert a.end == b.base
+        assert regions[-1].end == phys.params.memory_bytes
+
+    def test_is_kernel_text(self, phys):
+        assert phys.is_kernel_text(0x100)
+        assert not phys.is_kernel_text(KDATA_BASE)
+
+    def test_is_escape(self, phys):
+        assert phys.is_escape(ESCAPE_BASE + 1)
+        assert not phys.is_escape(KTEXT_BASE)
+
+    def test_out_of_range_address(self, phys):
+        assert phys.region_of(phys.params.memory_bytes + 10) is None
+
+
+class TestFrameAllocator:
+    def test_alloc_returns_frames_region_frames(self, phys):
+        frame = phys.alloc_frame()
+        assert phys.frame_base(frame) >= FRAMES_BASE
+
+    def test_alloc_unique(self, phys):
+        frames = {phys.alloc_frame() for _ in range(100)}
+        assert len(frames) == 100
+
+    def test_free_then_realloc_is_fifo(self, phys):
+        a = phys.alloc_frame()
+        b = phys.alloc_frame()
+        phys.free_frame(a)
+        phys.free_frame(b)
+        # FIFO: freed frames go to the back of the list.
+        next_frames = [phys.alloc_frame() for _ in range(phys.num_frames)]
+        assert next_frames[-2:] == [a, b]
+
+    def test_free_count_tracks(self, phys):
+        start = phys.free_frame_count()
+        frame = phys.alloc_frame()
+        assert phys.free_frame_count() == start - 1
+        phys.free_frame(frame)
+        assert phys.free_frame_count() == start
+
+    def test_double_free_rejected(self, phys):
+        frame = phys.alloc_frame()
+        phys.free_frame(frame)
+        with pytest.raises(ValueError):
+            phys.free_frame(frame)
+
+    def test_exhaustion_raises(self, phys):
+        for _ in range(phys.num_frames):
+            phys.alloc_frame()
+        with pytest.raises(OutOfMemoryError):
+            phys.alloc_frame()
+
+    def test_compaction_preserves_order(self, phys):
+        # Exercise the amortized-FIFO compaction path.
+        allocated = [phys.alloc_frame() for _ in range(5000)]
+        for frame in allocated:
+            phys.free_frame(frame)
+        remaining = phys.free_frame_count()
+        seen = [phys.alloc_frame() for _ in range(remaining)]
+        assert len(set(seen)) == remaining

@@ -1,0 +1,96 @@
+"""Analytic OS-activity model: fitting, prediction, generation."""
+
+import pytest
+
+from repro.analysis.decode import AppInterval, OsInvocation, TraceAnalysis
+from repro.analysis.model import OsActivityModel, PhaseModel, validate_model
+from repro.analysis.report import analyze_trace
+from repro.common.rng import substream
+
+
+def synthetic_analysis(num=50) -> TraceAnalysis:
+    analysis = TraceAnalysis("syn", 4)
+    analysis.invocations = [
+        OsInvocation("io_syscall", i * 1000, 100, 10, 20) for i in range(num)
+    ]
+    analysis.app_intervals = [
+        AppInterval(400, 4, 6, 2) for _ in range(num)
+    ]
+    analysis.utlb_count = 100
+    analysis.utlb_misses = 10
+    return analysis
+
+
+class TestFit:
+    def test_phase_means(self):
+        model = OsActivityModel.from_analysis(synthetic_analysis())
+        assert model.os_phase.mean_cycles == pytest.approx(200)   # 100 ticks
+        assert model.app_phase.mean_cycles == pytest.approx(800)
+        assert model.os_phase.mean_imisses == 10
+        assert model.utlb_per_app_interval == pytest.approx(2.0)
+        assert model.utlb_misses_per_fault == pytest.approx(0.1)
+
+    def test_constant_durations_have_zero_cv(self):
+        model = OsActivityModel.from_analysis(synthetic_analysis())
+        assert model.os_phase.cv_cycles == pytest.approx(0.0)
+
+    def test_empty_analysis_rejected(self):
+        with pytest.raises(ValueError):
+            OsActivityModel.from_analysis(TraceAnalysis("e", 4))
+
+
+class TestPredictions:
+    @pytest.fixture
+    def model(self):
+        return OsActivityModel.from_analysis(synthetic_analysis())
+
+    def test_os_time_share(self, model):
+        assert model.os_time_share == pytest.approx(200 / 1000)
+
+    def test_invocation_interval(self, model):
+        assert model.invocation_interval_cycles == pytest.approx(1000)
+
+    def test_os_miss_share(self, model):
+        # OS 30 misses vs app 10 + 0.2 utlb misses per period.
+        assert model.predicted_os_miss_share() == pytest.approx(
+            30 / (30 + 10 + 0.2)
+        )
+
+    def test_os_stall(self, model):
+        assert model.predicted_os_stall_pct() == pytest.approx(
+            100.0 * 30 * 35 / 1000
+        )
+
+    def test_total_stall_exceeds_os_stall(self, model):
+        assert model.predicted_total_stall_pct() > model.predicted_os_stall_pct()
+
+
+class TestGeneration:
+    def test_generated_means_match(self):
+        model = OsActivityModel.from_analysis(synthetic_analysis())
+        rng = substream(0, "model")
+        draws = model.generate(rng, 3000)
+        app_mean = sum(a for a, _o in draws) / len(draws)
+        os_mean = sum(o for _a, o in draws) / len(draws)
+        assert app_mean == pytest.approx(800, rel=0.1)
+        assert os_mean == pytest.approx(200, rel=0.1)
+
+    def test_draws_nonnegative(self):
+        model = OsActivityModel.from_analysis(synthetic_analysis())
+        rng = substream(1, "model")
+        assert all(a >= 0 and o >= 0 for a, o in model.generate(rng, 200))
+
+
+class TestAgainstRealTrace:
+    def test_model_matches_measurement(self, nowarmup_report):
+        """The fitted model's aggregates must land near the direct
+        measurements — the consistency check Figure 3's data enables."""
+        analysis = nowarmup_report.analysis
+        model = OsActivityModel.from_analysis(analysis)
+        checks = validate_model(model, analysis)
+        predicted_share, measured_share = checks["os_time_share"]
+        # The renewal model ignores idle-loop OS time and nesting, so
+        # agree loosely: within a factor of two and same order.
+        assert predicted_share == pytest.approx(measured_share, rel=0.8)
+        predicted_miss, measured_miss = checks["os_miss_share"]
+        assert predicted_miss == pytest.approx(measured_miss, abs=0.25)

@@ -1,0 +1,161 @@
+"""The paper-proposed optimization modes: block ops, distributed queues."""
+
+import pytest
+
+from repro.common.params import MachineParams
+from repro.common.types import Mode, RefDomain
+from repro.cpu.processor import Processor
+from repro.kernel.kernel import Kernel, KernelTuning
+from repro.kernel.vm import VmTuning
+from repro.memsys.system import MemorySystem
+
+
+def make_kernel(**tuning_kwargs):
+    params = MachineParams()
+    memsys = MemorySystem(params)
+    cpus = [Processor(i, params, memsys) for i in range(4)]
+    tuning = KernelTuning(vm=VmTuning(baseline_frames=256), **tuning_kwargs)
+    return Kernel(params, memsys, cpus, tuning=tuning), cpus
+
+
+class TestBlockopBypass:
+    def test_bypass_copy_displaces_nothing(self):
+        kernel, cpus = make_kernel(blockop_cache_bypass=True)
+        proc = cpus[0]
+        proc.set_mode(Mode.KERNEL)
+        # Warm a victim line that a cached copy would displace.
+        victim_block = 0x500000 // 16
+        proc.dread_block(victim_block)
+        kernel.blockops.bcopy(proc, 0x500000 + 4096 * 16, 0x600000, 4096)
+        assert kernel.memsys.hierarchies[0].data_resident(victim_block)
+
+    def test_bypass_still_stalls(self):
+        kernel, cpus = make_kernel(blockop_cache_bypass=True)
+        proc = cpus[0]
+        proc.set_mode(Mode.KERNEL)
+        before = proc.stall_cycles[Mode.KERNEL]
+        kernel.blockops.bcopy(proc, 0x500000, 0x600000, 4096)
+        assert proc.stall_cycles[Mode.KERNEL] > before
+
+    def test_bypass_write_invalidates_stale_copies(self):
+        kernel, cpus = make_kernel(blockop_cache_bypass=True)
+        writer, reader = cpus[0], cpus[1]
+        writer.set_mode(Mode.KERNEL)
+        reader.set_mode(Mode.KERNEL)
+        block = 0x600000 // 16
+        reader.dread_block(block)  # reader caches the destination
+        kernel.blockops.bclear(writer, 0x600000, 64)
+        assert not kernel.memsys.hierarchies[1].data_resident(block)
+
+    def test_bypass_no_cacheable_bus_traffic(self):
+        kernel, cpus = make_kernel(blockop_cache_bypass=True)
+        proc = cpus[0]
+        proc.set_mode(Mode.KERNEL)
+        reads_before = kernel.memsys.bus_reads
+        kernel.blockops.bclear(proc, 0x600000, 1024)
+        # Only the routine's I-fetches hit the bus, not the data sweep.
+        data_misses = kernel.memsys.truth.class_counts(
+            RefDomain.OS, "D"
+        )
+        assert sum(data_misses.values()) == 0
+        assert kernel.memsys.bus_reads > reads_before  # code still fetched
+
+
+class TestBlockopPrefetch:
+    def test_prefetch_mode_reset_after_op(self):
+        kernel, cpus = make_kernel(blockop_prefetch=True)
+        proc = cpus[0]
+        proc.set_mode(Mode.KERNEL)
+        kernel.blockops.bcopy(proc, 0x500000, 0x600000, 1024)
+        assert not proc.prefetch_mode
+
+    def test_prefetch_keeps_misses_drops_stall(self):
+        base_kernel, base_cpus = make_kernel()
+        pf_kernel, pf_cpus = make_kernel(blockop_prefetch=True)
+        for kernel, cpus in ((base_kernel, base_cpus), (pf_kernel, pf_cpus)):
+            cpus[0].set_mode(Mode.KERNEL)
+            kernel.blockops.bcopy(cpus[0], 0x500000, 0x600000, 4096)
+        base_data = sum(
+            base_kernel.memsys.truth.class_counts(RefDomain.OS, "D").values()
+        )
+        pf_data = sum(
+            pf_kernel.memsys.truth.class_counts(RefDomain.OS, "D").values()
+        )
+        assert pf_data == base_data  # same bus traffic
+        assert (
+            pf_cpus[0].stall_cycles[Mode.KERNEL]
+            < base_cpus[0].stall_cycles[Mode.KERNEL]
+        )
+
+
+class TestDistributedQueues:
+    def test_per_cluster_queue_mapping(self):
+        kernel, cpus = make_kernel(num_run_queues=2)
+        sched = kernel.scheduler
+        assert sched.queue_of_cpu(0) == 0
+        assert sched.queue_of_cpu(1) == 0
+        assert sched.queue_of_cpu(2) == 1
+        assert sched.queue_of_cpu(3) == 1
+
+    def test_runqlk_array_created(self):
+        kernel, _ = make_kernel(num_run_queues=2)
+        assert kernel.locks.runq(0).name == "runqlk_0"
+        assert kernel.locks.runq(1).name == "runqlk_1"
+        assert kernel.locks.runq(0).family == "runqlk"
+
+    def test_setrq_prefers_home_queue(self):
+        from repro.kernel.process import Image
+        from tests.test_kernel_core import dummy_driver
+
+        kernel, cpus = make_kernel(num_run_queues=2)
+        image = Image("x", text_pages=1, file_ino=1)
+        process = kernel.create_process("p", image, dummy_driver())
+        process.last_cpu = 3  # home: cluster 1
+        kernel.scheduler.setrq(cpus[0], process)
+        assert process in kernel.scheduler.queues[1]
+
+    def test_empty_home_queue_steals(self):
+        from repro.kernel.process import Image
+        from tests.test_kernel_core import dummy_driver
+
+        kernel, cpus = make_kernel(num_run_queues=2)
+        image = Image("x", text_pages=1, file_ino=1)
+        process = kernel.create_process("p", image, dummy_driver())
+        process.last_cpu = 3
+        kernel.scheduler.setrq(cpus[0], process)
+        # CPU 0 (cluster 0) has an empty home queue: it must steal.
+        chosen = kernel.scheduler.pick_next(cpus[0])
+        assert chosen is process
+        assert kernel.scheduler.cross_queue_steals == 1
+
+    def test_overloaded_home_queue_spills(self):
+        from repro.kernel.process import Image
+        from tests.test_kernel_core import dummy_driver
+
+        kernel, cpus = make_kernel(num_run_queues=2)
+        image = Image("x", text_pages=1, file_ino=1)
+        procs = [
+            kernel.create_process(f"p{i}", image, dummy_driver())
+            for i in range(5)
+        ]
+        for process in procs:
+            process.last_cpu = 0  # all home to cluster 0
+            kernel.scheduler.setrq(cpus[0], process)
+        # Imbalance beyond the slack spills to the other queue.
+        assert len(kernel.scheduler.queues[1]) > 0
+
+
+class TestOracleScale:
+    def test_standard_scale_bigger_footprint(self):
+        from repro.workloads.oracle import OracleWorkload
+
+        scaled = OracleWorkload(scale="scaled")
+        standard = OracleWorkload(scale="standard")
+        assert standard.num_datafiles > scaled.num_datafiles
+        assert standard.sga_pages > scaled.sga_pages
+
+    def test_invalid_scale_rejected(self):
+        from repro.workloads.oracle import OracleWorkload
+
+        with pytest.raises(ValueError):
+            OracleWorkload(scale="enormous")

@@ -1,0 +1,116 @@
+"""Processor: clock, mode accounting, reference issue."""
+
+import pytest
+
+from repro.common.params import MachineParams
+from repro.common.types import Mode, RefDomain
+from repro.cpu.processor import Processor
+from repro.memsys.system import MemorySystem
+
+
+@pytest.fixture
+def cpu(params):
+    return Processor(0, params, MemorySystem(params))
+
+
+class TestModeAccounting:
+    def test_starts_idle(self, cpu):
+        assert cpu.mode is Mode.IDLE
+
+    def test_advance_attributes_to_mode(self, cpu):
+        cpu.set_mode(Mode.USER)
+        cpu.advance(100)
+        cpu.set_mode(Mode.KERNEL)
+        cpu.advance(50)
+        assert cpu.mode_cycles[Mode.USER] == 100
+        assert cpu.mode_cycles[Mode.KERNEL] == 50
+
+    def test_non_idle_cycles(self, cpu):
+        cpu.set_mode(Mode.USER)
+        cpu.advance(100)
+        cpu.set_mode(Mode.IDLE)
+        cpu.advance(900)
+        assert cpu.non_idle_cycles() == 100
+
+    def test_time_split_sums_to_one(self, cpu):
+        cpu.set_mode(Mode.USER)
+        cpu.advance(30)
+        cpu.set_mode(Mode.IDLE)
+        cpu.advance(70)
+        split = cpu.time_split()
+        assert sum(split.values()) == pytest.approx(1.0)
+        assert split[Mode.IDLE] == pytest.approx(0.7)
+
+    def test_rejects_negative_advance(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.advance(-1)
+
+    def test_advance_to_is_monotonic(self, cpu):
+        cpu.advance(100)
+        cpu.advance_to(50)  # no-op
+        assert cpu.cycles == 100
+        cpu.advance_to(200)
+        assert cpu.cycles == 200
+
+
+class TestAppEpoch:
+    def test_entering_user_bumps_epoch(self, cpu):
+        start = cpu.app_epoch
+        cpu.set_mode(Mode.USER)
+        assert cpu.app_epoch == start + 1
+
+    def test_reentering_user_from_kernel_bumps(self, cpu):
+        cpu.set_mode(Mode.USER)
+        epoch = cpu.app_epoch
+        cpu.set_mode(Mode.KERNEL)
+        cpu.set_mode(Mode.USER)
+        assert cpu.app_epoch == epoch + 1
+
+    def test_user_to_user_does_not_bump(self, cpu):
+        cpu.set_mode(Mode.USER)
+        epoch = cpu.app_epoch
+        cpu.set_mode(Mode.USER)
+        assert cpu.app_epoch == epoch
+
+    def test_domain_follows_mode(self, cpu):
+        cpu.set_mode(Mode.USER)
+        assert cpu.domain is RefDomain.APP
+        cpu.set_mode(Mode.KERNEL)
+        assert cpu.domain is RefDomain.OS
+        cpu.set_mode(Mode.IDLE)
+        assert cpu.domain is RefDomain.OS
+
+
+class TestReferenceIssue:
+    def test_ifetch_range_advances_issue_and_stall(self, cpu):
+        cpu.set_mode(Mode.KERNEL)
+        cpu.ifetch_range(0, 160)  # 10 blocks, all cold
+        # 10 blocks x (4 issue + 35 stall)
+        assert cpu.cycles == 10 * 39
+        assert cpu.stall_cycles[Mode.KERNEL] == 350
+
+    def test_refetch_is_cheap(self, cpu):
+        cpu.set_mode(Mode.KERNEL)
+        cpu.ifetch_range(0, 160)
+        before = cpu.cycles
+        cpu.ifetch_range(0, 160)
+        assert cpu.cycles - before == 40  # issue only
+
+    def test_dtouch_range_write(self, cpu):
+        cpu.set_mode(Mode.KERNEL)
+        cpu.dtouch_range(0x100000, 64, write=True)
+        assert cpu.memsys.bus_writes == 4
+
+    def test_empty_ranges_free(self, cpu):
+        cpu.ifetch_range(0, 0)
+        cpu.dtouch_range(0, 0)
+        assert cpu.cycles == 0
+
+    def test_charge_stall_rejects_negative(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.charge_stall(-5)
+
+    def test_uncached_read_goes_to_bus(self, cpu):
+        cpu.set_mode(Mode.KERNEL)
+        cpu.uncached_read(0xF0001)
+        assert cpu.memsys.bus_uncached == 1

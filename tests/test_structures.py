@@ -1,0 +1,115 @@
+"""Kernel data map: Table 3 sizes and address attribution."""
+
+import pytest
+
+from repro.kernel import structures as S
+from repro.kernel.structures import KernelDataMap, StructName
+from repro.memsys.memory import KDATA_BASE, KDATA_SIZE
+
+
+@pytest.fixture(scope="module")
+def datamap():
+    return KernelDataMap()
+
+
+class TestPaperSizes:
+    """The structure sizes are Table 3, verbatim."""
+
+    def test_kernel_stack(self):
+        assert S.KSTACK_BYTES == 4096
+
+    def test_pcb(self):
+        assert S.PCB_BYTES == 240
+
+    def test_eframe(self):
+        assert S.EFRAME_BYTES == 172
+
+    def test_ustruct_rest(self):
+        assert S.USTRUCT_REST_BYTES == 3684
+
+    def test_process_table(self):
+        assert S.PROC_TABLE_BYTES == 46080
+
+    def test_pfdat(self):
+        assert S.PFDAT_BYTES == 210944
+
+    def test_buffer(self):
+        assert S.BUFFER_TABLE_BYTES == 17408
+
+    def test_inode(self):
+        assert S.INODE_TABLE_BYTES == 68608
+
+    def test_runq(self):
+        assert S.RUNQ_BYTES == 24
+
+    def test_freepgbuck(self):
+        assert S.FREEPGBUCK_BYTES == 3072
+
+    def test_hi_ndproc(self):
+        assert S.HI_NDPROC_BYTES == 4
+
+
+class TestAttribution:
+    def test_proc_table(self, datamap):
+        assert datamap.structure_at(datamap.proc_entry(5)) is StructName.PROC_TABLE
+
+    def test_kernel_stack(self, datamap):
+        addr = datamap.kstack_base(3) + 100
+        assert datamap.structure_at(addr) is StructName.KERNEL_STACK
+
+    def test_ustruct_subdivision(self, datamap):
+        base = datamap.ustruct_base(2)
+        assert datamap.structure_at(base) is StructName.PCB
+        assert datamap.structure_at(base + S.PCB_BYTES) is StructName.EFRAME
+        assert (
+            datamap.structure_at(base + S.PCB_BYTES + S.EFRAME_BYTES)
+            is StructName.USTRUCT_REST
+        )
+
+    def test_run_queue(self, datamap):
+        assert datamap.structure_at(datamap.runq_base) is StructName.RUN_QUEUE
+
+    def test_hi_ndproc(self, datamap):
+        assert datamap.structure_at(datamap.hi_ndproc_base) is StructName.HI_NDPROC
+
+    def test_pfdat(self, datamap):
+        assert datamap.structure_at(datamap.pfdat_entry(100)) is StructName.PFDAT
+
+    def test_buffer_header(self, datamap):
+        assert datamap.structure_at(datamap.buffer_header(10)) is StructName.BUFFER
+
+    def test_inode(self, datamap):
+        assert datamap.structure_at(datamap.inode_entry(10)) is StructName.INODE
+
+    def test_page_table(self, datamap):
+        assert (
+            datamap.structure_at(datamap.pagetable_base(7))
+            is StructName.PAGE_TABLE
+        )
+
+    def test_kheap_scratch(self, datamap):
+        assert datamap.structure_at(datamap.kheap_scratch(3)) is StructName.KHEAP
+
+    def test_unknown_is_other(self, datamap):
+        assert datamap.structure_at(0x400000) is StructName.OTHER
+
+
+class TestPerSlotAddresses:
+    def test_slots_disjoint_kstacks(self, datamap):
+        assert datamap.kstack_base(1) - datamap.kstack_base(0) == S.KSTACK_BYTES
+
+    def test_slot_bounds_checked(self, datamap):
+        with pytest.raises(ValueError):
+            datamap.kstack_base(S.NPROC)
+        with pytest.raises(ValueError):
+            datamap.proc_entry(-1)
+
+    def test_everything_fits_in_kdata(self, datamap):
+        assert datamap.kdata_end <= KDATA_BASE + KDATA_SIZE
+
+    def test_eframe_between_pcb_and_rest(self, datamap):
+        assert datamap.eframe_base(0) == datamap.pcb_base(0) + S.PCB_BYTES
+        assert (
+            datamap.ustruct_rest_base(0)
+            == datamap.eframe_base(0) + S.EFRAME_BYTES
+        )

@@ -1,0 +1,78 @@
+"""Cache sweep (Figure 6 machinery) properties."""
+
+import pytest
+
+from repro.analysis.report import analyze_trace
+from repro.analysis.sweeps import (
+    FLUSH_CPU,
+    simulate_icache_config,
+    simulate_icache_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def stream(pmake_run):
+    report = analyze_trace(pmake_run)
+    return report.analysis.imiss_stream
+
+
+class TestBaseConfig:
+    def test_base_replay_reproduces_every_miss(self, stream):
+        """Replaying the 64KB-DM miss stream through a 64KB-DM cache must
+        miss on every entry — the stream IS that cache's miss stream."""
+        point = simulate_icache_config(stream, 4, 64 * 1024, 1)
+        windowed = [e for e in stream if e[0] != FLUSH_CPU and e[3]]
+        assert point.total_misses == len(windowed)
+
+
+class TestMonotonicity:
+    def test_bigger_caches_never_miss_more(self, stream):
+        points = {
+            (p.size_bytes, p.associativity): p
+            for p in simulate_icache_sweep(stream, 4)
+        }
+        sizes = sorted({size for size, _a in points})
+        for small, big in zip(sizes, sizes[1:]):
+            assert points[(big, 1)].os_misses <= points[(small, 1)].os_misses
+
+    def test_two_way_not_worse_than_direct(self, stream):
+        points = {
+            (p.size_bytes, p.associativity): p
+            for p in simulate_icache_sweep(stream, 4)
+        }
+        for size in (128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024):
+            assert points[(size, 2)].os_misses <= points[(size, 1)].os_misses * 1.02
+
+    def test_inval_floor_bounded_by_misses(self, stream):
+        for point in simulate_icache_sweep(stream, 4):
+            assert 0 <= point.os_inval_misses <= point.os_misses
+
+    def test_two_way_base_size_skipped(self, stream):
+        points = simulate_icache_sweep(stream, 4)
+        assert not any(
+            p.size_bytes == 64 * 1024 and p.associativity == 2 for p in points
+        )
+
+
+class TestFlushHandling:
+    def test_flush_markers_force_remisses(self):
+        # Synthetic stream: fill, flush, refetch -> the refetch must miss
+        # and be counted as an inval miss.
+        stream = [
+            (0, 100, True, True),
+            (FLUSH_CPU, 0, False, False),
+            (0, 100, True, True),
+        ]
+        point = simulate_icache_config(stream, 1, 1024 * 1024, 1)
+        assert point.os_misses == 2
+        assert point.os_inval_misses == 1
+
+    def test_no_flush_big_cache_absorbs_repeats(self):
+        stream = [(0, 100, True, True), (0, 100, True, True)]
+        point = simulate_icache_config(stream, 1, 1024 * 1024, 1)
+        assert point.os_misses == 1
+
+    def test_warmup_entries_fill_but_do_not_count(self):
+        stream = [(0, 100, True, False), (0, 100, True, True)]
+        point = simulate_icache_config(stream, 1, 1024 * 1024, 1)
+        assert point.os_misses == 0  # second access hits the warm line

@@ -1,0 +1,78 @@
+"""Synchronization bus and the LL/SC cached-lock what-if."""
+
+import pytest
+
+from repro.sync.llsc import CachedLockSimulator
+from repro.sync.syncbus import SyncBus
+
+
+class TestSyncBus:
+    def test_read_charges_op_cycles(self):
+        bus = SyncBus(op_cycles=25)
+        assert bus.read(0) == 25
+
+    def test_write_charges_op_cycles(self):
+        bus = SyncBus(op_cycles=25)
+        assert bus.write(1) == 25
+
+    def test_stats_accumulate_per_cpu(self):
+        bus = SyncBus()
+        bus.read(0)
+        bus.read(0)
+        bus.write(1)
+        assert bus.stats.reads == 2
+        assert bus.stats.writes == 1
+        assert bus.stats.stall_cycles_by_cpu[0] == 50
+        assert bus.stats.total_stall_cycles() == 75
+
+    def test_rejects_nonpositive_cost(self):
+        with pytest.raises(ValueError):
+            SyncBus(op_cycles=0)
+
+
+class TestCachedLockSimulator:
+    def test_repeat_acquire_by_same_cpu_is_cached(self):
+        sim = CachedLockSimulator()
+        for _ in range(5):
+            sim.on_acquire("l", 0)
+            sim.on_release("l", 0)
+        counts = sim.per_lock["l"]
+        assert counts.cached_misses == 1
+        assert counts.uncached_accesses == 15
+
+    def test_migrating_lock_misses_every_move(self):
+        sim = CachedLockSimulator()
+        for cpu in (0, 1, 0, 1):
+            sim.on_acquire("l", cpu)
+            sim.on_release("l", cpu)
+        # Each CPU change invalidates the other's copy.
+        assert sim.per_lock["l"].cached_misses == 4
+
+    def test_spin_costs_uncached_reads_but_one_cached_miss(self):
+        sim = CachedLockSimulator()
+        sim.on_acquire("l", 0)
+        sim.on_spin("l", 1, 20)
+        counts = sim.per_lock["l"]
+        assert counts.uncached_accesses == 2 + 20
+        assert counts.cached_misses == 2  # one per CPU's first touch
+
+    def test_zero_iteration_spin_free(self):
+        sim = CachedLockSimulator()
+        sim.on_spin("l", 0, 0)
+        assert "l" not in sim.per_lock
+
+    def test_stall_cycles(self):
+        sim = CachedLockSimulator(bus_stall_cycles=35, sync_op_cycles=25)
+        sim.on_acquire("l", 0)
+        sim.on_release("l", 0)
+        assert sim.uncached_stall_cycles() == 3 * 25
+        assert sim.cached_stall_cycles() == 35
+
+    def test_ratio_pct(self):
+        sim = CachedLockSimulator()
+        for _ in range(10):
+            sim.on_acquire("l", 0)
+            sim.on_release("l", 0)
+        assert sim.per_lock["l"].cached_to_uncached_pct == pytest.approx(
+            100.0 / 30.0
+        )

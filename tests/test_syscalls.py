@@ -1,0 +1,150 @@
+"""System-call handlers."""
+
+import pytest
+
+from repro.common.types import Mode
+from repro.kernel.process import DATA_VBASE, Image, ProcState
+from tests.test_kernel_core import dummy_driver, make_kernel
+
+
+@pytest.fixture
+def env():
+    kernel, cpus = make_kernel()
+    kernel.fs.register_file(50, 8 * 4096, "binary")
+    kernel.fs.register_file(60, 16 * 1024, "data")
+    image = Image("prog", text_pages=4, file_ino=50)
+    process = kernel.create_process("init", image, dummy_driver())
+    kernel.current[0] = process
+    process.state = ProcState.RUNNING
+    cpus[0].set_mode(Mode.USER)
+    return kernel, cpus, process
+
+
+class TestFork:
+    def test_fork_creates_runnable_child(self, env):
+        kernel, cpus, parent = env
+        child = kernel.syscalls.fork(cpus[0], parent, "kid", dummy_driver())
+        assert child.pid != parent.pid
+        assert child.state is ProcState.RUNNABLE
+        assert child in kernel.scheduler.run_queue
+        assert child.image is parent.image
+
+    def test_fork_marks_cow_both_sides(self, env):
+        kernel, cpus, parent = env
+        vpage = DATA_VBASE + 1
+        kernel.translate(cpus[0], parent, vpage, write=True)
+        child = kernel.syscalls.fork(cpus[0], parent, "kid", dummy_driver())
+        assert vpage in parent.cow_pages
+        assert vpage in child.cow_pages
+        assert child.data_frames[vpage] == parent.data_frames[vpage]
+        assert kernel.frame_shared(parent.data_frames[vpage])
+
+
+class TestExec:
+    def test_exec_replaces_image_and_frees_data(self, env):
+        kernel, cpus, process = env
+        kernel.translate(cpus[0], process, DATA_VBASE + 1, write=True)
+        old_image = process.image
+        kernel.fs.register_file(51, 4 * 4096, "other")
+        new_image = Image("other", text_pages=4, file_ino=51)
+        kernel.syscalls.exec(cpus[0], process, new_image, data_pages=6)
+        assert process.image is new_image
+        assert new_image.refcount == 1
+        assert old_image.refcount == 0
+        assert process.data_frames == {}
+        assert process.data_pages == 6
+
+
+class TestExitWait:
+    def test_wait_then_exit_wakes_parent(self, env):
+        kernel, cpus, parent = env
+        child = kernel.syscalls.fork(cpus[0], parent, "kid", dummy_driver())
+        done = kernel.syscalls.wait_for(cpus[0], parent, child)
+        assert not done
+        assert parent.state is ProcState.SLEEPING
+        # Run the child to exit on CPU1.
+        kernel.scheduler.dispatch(cpus[1])
+        kernel.syscalls.exit(cpus[1], child)
+        assert child.exited
+        # Woken — and possibly already dispatched by exit's scheduler run.
+        assert parent.state in (ProcState.RUNNABLE, ProcState.RUNNING)
+
+    def test_wait_on_already_dead_child(self, env):
+        kernel, cpus, parent = env
+        child = kernel.syscalls.fork(cpus[0], parent, "kid", dummy_driver())
+        kernel.scheduler.dispatch(cpus[1])
+        kernel.syscalls.exit(cpus[1], child)
+        assert kernel.syscalls.wait_for(cpus[0], parent, child)
+
+    def test_exit_recycles_slot(self, env):
+        kernel, cpus, parent = env
+        child = kernel.syscalls.fork(cpus[0], parent, "kid", dummy_driver())
+        slot = child.slot
+        kernel.scheduler.dispatch(cpus[1])
+        kernel.syscalls.exit(cpus[1], child)
+        assert slot in kernel._free_slots
+
+
+class TestSginap:
+    def test_sginap_requeues_and_dispatches(self, env):
+        kernel, cpus, process = env
+        other = kernel.syscalls.fork(cpus[0], process, "other", dummy_driver())
+        other.priority = 0  # strictly better: must win the CPU
+        kernel.syscalls.sginap(cpus[0], process)
+        assert kernel.current[0] is other
+        assert process.state is ProcState.RUNNABLE
+
+    def test_sginap_alone_reruns_self(self, env):
+        kernel, cpus, process = env
+        kernel.syscalls.sginap(cpus[0], process)
+        assert kernel.current[0] is process
+
+
+class TestSemop:
+    def test_v_then_p_succeeds(self, env):
+        kernel, cpus, process = env
+        assert kernel.syscalls.semop(cpus[0], process, 1, +1)
+        assert kernel.syscalls.semop(cpus[0], process, 1, -1)
+
+    def test_p_on_zero_blocks(self, env):
+        kernel, cpus, process = env
+        assert not kernel.syscalls.semop(cpus[0], process, 2, -1)
+        assert process.state is ProcState.SLEEPING
+
+    def test_v_wakes_blocked_p(self, env):
+        kernel, cpus, process = env
+        waiter = kernel.syscalls.fork(cpus[0], process, "w", dummy_driver())
+        kernel.scheduler.run_queue.remove(waiter)
+        kernel.current[1] = waiter
+        waiter.state = ProcState.RUNNING
+        cpus[1].set_mode(Mode.USER)
+        kernel.syscalls.semop(cpus[1], waiter, 3, -1)
+        assert waiter.state is ProcState.SLEEPING
+        kernel.syscalls.semop(cpus[0], process, 3, +1)
+        assert waiter.state is ProcState.RUNNABLE
+
+
+class TestBrkAndMisc:
+    def test_brk_grows(self, env):
+        kernel, cpus, process = env
+        kernel.syscalls.brk(cpus[0], process, 32)
+        assert process.data_pages == 32
+
+    def test_brk_never_shrinks(self, env):
+        kernel, cpus, process = env
+        kernel.syscalls.brk(cpus[0], process, 32)
+        kernel.syscalls.brk(cpus[0], process, 8)
+        assert process.data_pages == 32
+
+    def test_misc_flavors_execute(self, env):
+        kernel, cpus, process = env
+        for flavor in ("time", "signal", "ioctl", "stat", "pipe", "unknown"):
+            kernel.syscalls.misc(cpus[0], process, flavor)
+        assert kernel.syscalls.counts["misc"] == 6
+
+    def test_tty_write_uses_streams_lock(self, env):
+        kernel, cpus, process = env
+        streams = kernel.locks.streams(0)
+        before = streams.stats.acquires
+        kernel.syscalls.tty_write(cpus[0], process, 0, 20)
+        assert streams.stats.acquires == before + 1

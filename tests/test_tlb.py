@@ -1,0 +1,93 @@
+"""TLB behaviour: capacity, FIFO replacement, flushes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.tlb import Tlb, TlbEntry
+
+
+def entry(pid=1, vpage=0, frame=100, is_text=False):
+    return TlbEntry(pid, vpage, frame, is_text)
+
+
+class TestLookup:
+    def test_miss_on_empty(self):
+        tlb = Tlb(4)
+        assert tlb.lookup(1, 0) is None
+
+    def test_hit_after_insert(self):
+        tlb = Tlb(4)
+        tlb.insert(entry(vpage=3))
+        assert tlb.lookup(1, 3).frame == 100
+
+    def test_pid_keyed(self):
+        tlb = Tlb(4)
+        tlb.insert(entry(pid=1, vpage=3))
+        assert tlb.lookup(2, 3) is None
+
+    def test_miss_counters(self):
+        tlb = Tlb(4)
+        tlb.lookup(1, 0)
+        tlb.insert(entry(vpage=0))
+        tlb.lookup(1, 0)
+        assert tlb.lookups == 2 and tlb.misses == 1
+        assert tlb.miss_rate == 0.5
+
+
+class TestReplacement:
+    def test_fifo_eviction(self):
+        tlb = Tlb(2)
+        tlb.insert(entry(vpage=0))
+        tlb.insert(entry(vpage=1))
+        _idx, evicted = tlb.insert(entry(vpage=2))
+        assert evicted.vpage == 0
+        assert tlb.lookup(1, 0) is None
+        assert tlb.lookup(1, 1) is not None
+
+    def test_reinsert_does_not_evict(self):
+        tlb = Tlb(2)
+        tlb.insert(entry(vpage=0))
+        tlb.insert(entry(vpage=1))
+        _idx, evicted = tlb.insert(entry(vpage=1, frame=200))
+        assert evicted is None
+        assert tlb.lookup(1, 1).frame == 200
+
+    def test_capacity_never_exceeded(self):
+        tlb = Tlb(4)
+        for vpage in range(20):
+            tlb.insert(entry(vpage=vpage))
+        assert len(tlb) == 4
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            Tlb(0)
+
+
+class TestFlush:
+    def test_flush_pid(self):
+        tlb = Tlb(8)
+        tlb.insert(entry(pid=1, vpage=0))
+        tlb.insert(entry(pid=2, vpage=0))
+        assert tlb.flush_pid(1) == 1
+        assert tlb.lookup(1, 0) is None
+        assert tlb.lookup(2, 0) is not None
+
+    def test_flush_frame(self):
+        tlb = Tlb(8)
+        tlb.insert(entry(pid=1, vpage=0, frame=50))
+        tlb.insert(entry(pid=1, vpage=1, frame=60))
+        assert tlb.flush_frame(50) == 1
+        assert tlb.lookup(1, 0) is None
+        assert tlb.lookup(1, 1) is not None
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 4), st.integers(0, 30)), max_size=200))
+def test_tlb_capacity_invariant(inserts):
+    """However entries are inserted, size <= capacity and the most recent
+    64... 8 distinct keys are resident."""
+    tlb = Tlb(8)
+    for pid, vpage in inserts:
+        tlb.insert(TlbEntry(pid, vpage, 100 + vpage, False))
+        assert len(tlb) <= 8
+        assert tlb.lookup(pid, vpage) is not None

@@ -1,0 +1,142 @@
+"""TLB fault ladder: UTLB, demand-zero, copy-on-write, text page-in."""
+
+import pytest
+
+from repro.common.types import HighLevelOp, Mode
+from repro.kernel.process import DATA_VBASE, Image, ProcState
+from tests.test_fs import drain_disk
+from tests.test_kernel_core import dummy_driver, make_kernel
+
+
+@pytest.fixture
+def env():
+    kernel, cpus = make_kernel()
+    kernel.fs.register_file(50, 8 * 4096, "binary")
+    image = Image("prog", text_pages=8, file_ino=50)
+    process = kernel.create_process("p", image, dummy_driver())
+    process.data_pages = 8
+    kernel.current[0] = process
+    cpus[0].set_mode(Mode.USER)
+    return kernel, cpus, process
+
+
+class TestTranslateLadder:
+    def test_demand_zero_on_first_data_touch(self, env):
+        kernel, cpus, process = env
+        vpage = DATA_VBASE + 2
+        frame = kernel.translate(cpus[0], process, vpage, write=True)
+        assert frame is not None
+        assert process.data_frames[vpage] == frame
+        assert kernel.tlbfaults.demand_zero_faults == 1
+        # The page was cleared in full (Table 7's 70% row).
+        assert kernel.blockops.clears == 1
+        assert kernel.blockops.bytes_cleared == 4096
+
+    def test_tlb_hit_after_fault(self, env):
+        kernel, cpus, process = env
+        vpage = DATA_VBASE + 2
+        kernel.translate(cpus[0], process, vpage, write=False)
+        utlb = kernel.tlbfaults.utlb_faults
+        kernel.translate(cpus[0], process, vpage, write=False)
+        assert kernel.tlbfaults.utlb_faults == utlb  # straight TLB hit
+
+    def test_utlb_fault_after_tlb_eviction(self, env):
+        kernel, cpus, process = env
+        vpage = DATA_VBASE + 2
+        kernel.translate(cpus[0], process, vpage, write=False)
+        # Push the mapping out of the 64-entry TLB.
+        for i in range(70):
+            kernel.translate(cpus[0], process, DATA_VBASE + 3, write=False)
+            cpus[0].tlb.insert(
+                type(cpus[0].tlb.entries()[0])(999, 1000 + i, 1, False)
+            )
+        utlb_before = kernel.tlbfaults.utlb_faults
+        kernel.translate(cpus[0], process, vpage, write=False)
+        assert kernel.tlbfaults.utlb_faults == utlb_before + 1
+
+    def test_utlb_fault_is_cheap(self, env):
+        """UTLB faults cost a handful of references (paper: < 0.1 misses
+        once warm; a few cold misses on the first one)."""
+        kernel, cpus, process = env
+        vpage = DATA_VBASE + 2
+        kernel.translate(cpus[0], process, vpage, write=False)
+        cpus[0].tlb.flush_pid(process.pid)
+        misses_before = kernel.memsys.truth.total_misses()
+        kernel.translate(cpus[0], process, vpage, write=False)
+        assert kernel.memsys.truth.total_misses() - misses_before <= 6
+
+    def test_text_pagein_reads_binary(self, env):
+        kernel, cpus, process = env
+        frame = kernel.translate(cpus[0], process, 0, write=False)
+        if frame is None:  # slept on the binary read
+            drain_disk(kernel, cpus[0])
+            process.state = ProcState.RUNNING
+            kernel.current[0] = process
+            frame = kernel.translate(cpus[0], process, 0, write=False)
+        assert frame is not None
+        assert process.image.frames[0] == frame
+        assert kernel.tlbfaults.text_pageins == 1
+
+    def test_shared_text_second_process_cheap_fault(self, env):
+        kernel, cpus, process = env
+        # Pre-resident image.
+        from repro.workloads.base import preload_image
+
+        preload_image(kernel, process.image)
+        other = kernel.create_process("q", process.image, dummy_driver())
+        kernel.current[1] = other
+        cpus[1].set_mode(Mode.USER)
+        utlb_before = kernel.tlbfaults.utlb_faults
+        expensive_before = kernel.tlbfaults.expensive_faults
+        frame = kernel.translate(cpus[1], other, 0, write=False)
+        assert frame == process.image.frames[0]
+        # Resident shared text resolves on the fast path: no allocation.
+        assert kernel.tlbfaults.utlb_faults == utlb_before + 1
+        assert kernel.tlbfaults.expensive_faults == expensive_before
+
+
+class TestCopyOnWrite:
+    def _fork_shared_page(self, kernel, cpus, parent):
+        vpage = DATA_VBASE + 1
+        frame = kernel.translate(cpus[0], parent, vpage, write=True)
+        child = kernel.syscalls.fork(cpus[0], parent, "child", dummy_driver())
+        return vpage, frame, child
+
+    def test_cow_fault_copies_page(self, env):
+        kernel, cpus, parent = env
+        vpage, frame, child = self._fork_shared_page(kernel, cpus, parent)
+        copies_before = kernel.blockops.copies
+        new_frame = kernel.translate(cpus[0], parent, vpage, write=True)
+        assert new_frame != frame
+        assert kernel.tlbfaults.cow_faults == 1
+        assert kernel.blockops.copies == copies_before + 1
+        assert vpage not in parent.cow_pages
+
+    def test_read_does_not_cow(self, env):
+        kernel, cpus, parent = env
+        vpage, frame, child = self._fork_shared_page(kernel, cpus, parent)
+        got = kernel.translate(cpus[0], parent, vpage, write=False)
+        assert got == frame
+        assert kernel.tlbfaults.cow_faults == 0
+
+    def test_sole_survivor_claims_page(self, env):
+        kernel, cpus, parent = env
+        vpage, frame, child = self._fork_shared_page(kernel, cpus, parent)
+        # Child exits: the parent is the only mapper left.
+        kernel.teardown_address_space(cpus[0], child)
+        cheap_before = kernel.tlbfaults.cheap_faults
+        got = kernel.translate(cpus[0], parent, vpage, write=True)
+        assert got == frame  # claimed, not copied
+        assert kernel.tlbfaults.cow_faults == 0
+        assert kernel.tlbfaults.cheap_faults == cheap_before + 1
+
+    def test_both_sides_cow_frees_original(self, env):
+        kernel, cpus, parent = env
+        vpage, frame, child = self._fork_shared_page(kernel, cpus, parent)
+        kernel.translate(cpus[0], parent, vpage, write=True)   # parent copies
+        kernel.current[1] = child
+        child.state = ProcState.RUNNING
+        cpus[1].set_mode(Mode.USER)
+        got = kernel.translate(cpus[1], child, vpage, write=True)
+        # Child was the last mapper: claims the original frame.
+        assert got == frame

@@ -1,0 +1,94 @@
+"""GroundTruth classification bookkeeping."""
+
+from repro.common.types import MissClass, RefDomain
+from repro.memsys.tracking import DATA, INSTR, GroundTruth
+
+OS = RefDomain.OS
+APP = RefDomain.APP
+
+
+def make_truth(record_events=False):
+    return GroundTruth(2, record_events=record_events)
+
+
+class TestClassify:
+    def test_first_miss_is_cold(self):
+        truth = make_truth()
+        cls, same = truth.classify_and_record(0, 0, DATA, 10, OS, 0)
+        assert cls is MissClass.COLD and not same
+
+    def test_eviction_then_miss_is_displacement(self):
+        truth = make_truth()
+        truth.classify_and_record(0, 0, DATA, 10, OS, 0)
+        truth.record_eviction(0, DATA, 10, APP, 0)
+        cls, _ = truth.classify_and_record(1, 0, DATA, 10, OS, 0)
+        assert cls is MissClass.DISPAP
+
+    def test_os_eviction_same_epoch_is_dispossame(self):
+        truth = make_truth()
+        truth.classify_and_record(0, 0, DATA, 10, OS, 3)
+        truth.record_eviction(0, DATA, 10, OS, 3)
+        cls, same = truth.classify_and_record(1, 0, DATA, 10, OS, 3)
+        assert cls is MissClass.DISPOS and same
+
+    def test_os_eviction_new_epoch_not_dispossame(self):
+        truth = make_truth()
+        truth.classify_and_record(0, 0, DATA, 10, OS, 3)
+        truth.record_eviction(0, DATA, 10, OS, 3)
+        cls, same = truth.classify_and_record(1, 0, DATA, 10, OS, 4)
+        assert cls is MissClass.DISPOS and not same
+
+    def test_invalidation_beats_eviction(self):
+        truth = make_truth()
+        truth.classify_and_record(0, 0, DATA, 10, OS, 0)
+        truth.record_invalidation(0, DATA, 10)
+        cls, _ = truth.classify_and_record(1, 0, DATA, 10, OS, 0)
+        assert cls is MissClass.SHARING
+
+    def test_instruction_invalidation_is_inval(self):
+        truth = make_truth()
+        truth.classify_and_record(0, 0, INSTR, 10, OS, 0)
+        truth.record_invalidation(0, INSTR, 10)
+        cls, _ = truth.classify_and_record(1, 0, INSTR, 10, OS, 0)
+        assert cls is MissClass.INVAL
+
+    def test_fill_clears_invalidation(self):
+        truth = make_truth()
+        truth.classify_and_record(0, 0, DATA, 10, OS, 0)
+        truth.record_invalidation(0, DATA, 10)
+        truth.classify_and_record(1, 0, DATA, 10, OS, 0)  # SHARING + refill
+        truth.record_eviction(0, DATA, 10, OS, 0)
+        cls, _ = truth.classify_and_record(2, 0, DATA, 10, OS, 0)
+        assert cls is MissClass.DISPOS
+
+    def test_cpus_independent(self):
+        truth = make_truth()
+        truth.classify_and_record(0, 0, DATA, 10, OS, 0)
+        cls, _ = truth.classify_and_record(1, 1, DATA, 10, OS, 0)
+        assert cls is MissClass.COLD
+
+
+class TestCounters:
+    def test_counts_aggregate(self):
+        truth = make_truth()
+        truth.classify_and_record(0, 0, DATA, 1, OS, 0)
+        truth.classify_and_record(1, 0, INSTR, 2, APP, 0)
+        assert truth.total_misses() == 2
+        assert truth.total_misses(OS) == 1
+
+    def test_uncached_recorded(self):
+        truth = make_truth()
+        truth.record_uncached(OS)
+        assert truth.class_counts(OS)[MissClass.UNCACHED] == 1
+
+    def test_events_recorded_when_enabled(self):
+        truth = make_truth(record_events=True)
+        truth.classify_and_record(7, 1, DATA, 5, APP, 2)
+        assert len(truth.events) == 1
+        event = truth.events[0]
+        assert event.cpu == 1 and event.block == 5 and event.domain is APP
+
+    def test_events_skipped_when_disabled(self):
+        truth = make_truth()
+        truth.classify_and_record(0, 0, DATA, 1, OS, 0)
+        assert truth.events == []

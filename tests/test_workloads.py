@@ -1,0 +1,108 @@
+"""Workload models: setup invariants and driver progression."""
+
+import pytest
+
+from repro.common.rng import substream
+from repro.sim.session import Simulation
+from repro.workloads import WORKLOADS, make_workload
+from repro.workloads.multpgm import MultpgmWorkload
+from repro.workloads.oracle import OracleWorkload
+from repro.workloads.pmake import PmakeWorkload
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("pmake", "multpgm", "oracle"):
+            assert make_workload(name).name == name
+
+    def test_case_insensitive(self):
+        assert make_workload("PMAKE").name == "pmake"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("doom")
+
+    def test_registry_complete(self):
+        assert set(WORKLOADS) == {"pmake", "multpgm", "oracle"}
+
+
+class TestPmakeSetup:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return Simulation("pmake", seed=1)
+
+    def test_56_sources_registered(self, sim):
+        sources = [f for f in sim.kernel.fs.files.values()
+                   if f.name.endswith(".c")]
+        assert len(sources) == 56
+
+    def test_make_process_created(self, sim):
+        names = [p.name for p in sim.kernel.processes.values()]
+        assert "make" in names
+
+    def test_make_image_preloaded(self, sim):
+        workload = sim.workload
+        assert workload.make_image.resident()
+        # The compiler is demand-paged, not preloaded.
+        assert not workload.cc_image.resident()
+
+
+class TestMultpgmSetup:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return Simulation("multpgm", seed=1)
+
+    def test_component_processes(self, sim):
+        names = [p.name for p in sim.kernel.processes.values()]
+        assert sum(1 for n in names if n.startswith("mp3d")) == 4
+        assert sum(1 for n in names if n.startswith("ed")) == 5
+        assert "make" in names  # the embedded Pmake
+
+    def test_mp3d_shares_particle_pages(self, sim):
+        mp3d = [p for p in sim.kernel.processes.values()
+                if p.name.startswith("mp3d")]
+        shared_vpage = 0x110
+        frames = {p.data_frames[shared_vpage] for p in mp3d}
+        assert len(frames) == 1
+        assert sim.kernel.frame_shared(frames.pop())
+
+    def test_tty_events_respect_horizon(self, sim):
+        events = sim.workload.tty_events(10**7, substream(0, "tty"))
+        assert events
+        assert all(0 <= t < 10**7 for t, _sid, _n in events)
+        assert all(1 <= n <= 15 for _t, _sid, n in events)  # paper bursts
+        assert {sid for _t, sid, _n in events} == set(range(5))
+
+
+class TestOracleSetup:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return Simulation("oracle", seed=1)
+
+    def test_servers_plus_lgwr(self, sim):
+        names = [p.name for p in sim.kernel.processes.values()]
+        assert sum(1 for n in names if n.startswith("oracle-")) >= 6
+        assert "oracle-lgwr" in names
+
+    def test_sga_shared_by_all(self, sim):
+        procs = [p for p in sim.kernel.processes.values()]
+        vpage = 0x110
+        frames = {p.data_frames[vpage] for p in procs}
+        assert len(frames) == 1
+
+    def test_tp1_files(self, sim):
+        dbf = [f for f in sim.kernel.fs.files.values()
+               if f.name.endswith(".dbf")]
+        assert len(dbf) == 10  # the 10 branches
+
+    def test_big_binary(self, sim):
+        assert sim.workload.oracle_image.text_pages * 4096 > 1024 * 1024
+
+
+class TestDriversMakeProgress:
+    @pytest.mark.parametrize("name", ["pmake", "multpgm", "oracle"])
+    def test_syscalls_issued_within_short_run(self, name):
+        sim = Simulation(name, seed=2)
+        sim.run(8.0, warmup_ms=0.0)
+        assert sim.kernel.os_invocations > 0
+        assert sum(sim.kernel.syscalls.counts.values()) > 0
