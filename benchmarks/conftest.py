@@ -8,18 +8,35 @@ table it regenerates.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.base import ExperimentContext, RunSettings
+from repro.sim.runcache import RunCache
 
 # Full-quality settings (the same steady-state window the experiments
-# CLI uses by default).
-SETTINGS = RunSettings(horizon_ms=80.0, warmup_ms=500.0, seed=7)
+# CLI uses by default). CI shrinks the window via the environment to
+# keep its benchmark-artifact job fast; local runs keep full fidelity.
+_DEFAULTS = RunSettings()
+SETTINGS = RunSettings(
+    horizon_ms=float(os.environ.get("REPRO_BENCH_HORIZON_MS", _DEFAULTS.horizon_ms)),
+    warmup_ms=float(os.environ.get("REPRO_BENCH_WARMUP_MS", _DEFAULTS.warmup_ms)),
+    seed=_DEFAULTS.seed,
+)
 
 
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
-    return ExperimentContext(SETTINGS)
+    # The persistent run cache means only the first benchmark session on
+    # a given source tree pays for the three base simulations; exhibit
+    # derivation (what the benchmarks measure) is never cached, so the
+    # numbers stay honest. REPRO_NO_CACHE=1 opts out.
+    context = ExperimentContext(SETTINGS, cache=RunCache())
+    # Exhibit-level disk hits would short-circuit the very work the
+    # benchmarks exist to time; keep this context run/report-only.
+    context.cache_exhibits = False
+    return context
 
 
 @pytest.fixture(scope="session")

@@ -1,4 +1,5 @@
-"""Benchmark regenerating Table 1: workload characteristics (time split, miss shares, stall fractions)."""
+"""Benchmark regenerating Table 1: workload characteristics (time split,
+miss shares, stall fractions)."""
 
 from benchmarks.conftest import run_exhibit
 

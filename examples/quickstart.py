@@ -13,7 +13,7 @@ Run:  python examples/quickstart.py [workload] [horizon_ms]
 import sys
 
 from repro import analyze_trace, run_traced_workload
-from repro.common.types import MissClass, RefDomain
+from repro.common.types import RefDomain
 
 
 def main() -> None:

@@ -1,4 +1,9 @@
-"""Command-line entry point: ``python -m repro.experiments run <id|all>``."""
+"""Command-line entry point: ``python -m repro.experiments run <id|all>``.
+
+Exhibit tables go to **stdout**; timing and cache statistics go to
+**stderr**. That split is load-bearing: CI compares the stdout of a
+cold run against a warm-cache or parallel run byte for byte.
+"""
 
 from __future__ import annotations
 
@@ -7,8 +12,14 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.experiments import parallel
 from repro.experiments.base import ExperimentContext, RunSettings
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.sim.runcache import RunCache
+
+# argparse defaults come from the dataclass so the CLI cannot drift
+# from the settings the library and fixtures use.
+_DEFAULTS = RunSettings()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -19,15 +30,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     run_cmd = sub.add_parser("run", help="run one or all experiments")
     run_cmd.add_argument("exhibit", help="exhibit id (e.g. table1) or 'all'")
-    run_cmd.add_argument("--horizon-ms", type=float, default=80.0)
-    run_cmd.add_argument("--warmup-ms", type=float, default=500.0)
-    run_cmd.add_argument("--seed", type=int, default=7)
+    run_cmd.add_argument("--horizon-ms", type=float, default=_DEFAULTS.horizon_ms)
+    run_cmd.add_argument("--warmup-ms", type=float, default=_DEFAULTS.warmup_ms)
+    run_cmd.add_argument("--seed", type=int, default=_DEFAULTS.seed)
+    run_cmd.add_argument(
+        "--jobs", type=int, default=parallel.default_jobs(), metavar="N",
+        help="worker processes for simulations and exhibit builds "
+             "(default: min(3, cpu_count))",
+    )
+    run_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent run-cache location (default: $REPRO_CACHE_DIR "
+             "or ~/.cache/repro)",
+    )
+    run_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the persistent run cache "
+             "(also: REPRO_NO_CACHE=1)",
+    )
     run_cmd.add_argument(
         "--charts", action="store_true",
         help="also render the exhibit's ASCII figure, if it has one",
     )
-    list_cmd = sub.add_parser("list", help="list exhibit ids")
-    del list_cmd
+    sub.add_parser("list", help="list exhibit ids")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -35,17 +60,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(exhibit_id)
         return 0
 
+    cache = RunCache(cache_dir=args.cache_dir, enabled=not args.no_cache)
     ctx = ExperimentContext(
         RunSettings(
             horizon_ms=args.horizon_ms,
             warmup_ms=args.warmup_ms,
             seed=args.seed,
-        )
+        ),
+        cache=cache,
     )
     targets = list(EXPERIMENTS) if args.exhibit == "all" else [args.exhibit]
-    for exhibit_id in targets:
-        start = time.time()
-        exhibit = run_experiment(exhibit_id, ctx)
+    start = time.time()
+    if args.jobs <= 1:
+        # Serial: print each exhibit as it completes.
+        built = ((e, run_experiment(e, ctx)) for e in targets)
+    else:
+        built = parallel.run_exhibits(ctx, targets, jobs=args.jobs)
+    for exhibit_id, exhibit in built:
         print(exhibit.to_text())
         if args.charts:
             from repro.experiments.registry import render_chart
@@ -54,8 +85,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             if figure:
                 print()
                 print(figure)
-        print(f"  [{time.time() - start:.1f}s]")
         print()
+    print(f"[{time.time() - start:.1f}s, jobs={args.jobs}]", file=sys.stderr)
+    print(cache.stats_line(), file=sys.stderr)
     return 0
 
 

@@ -22,7 +22,6 @@ _OPS = (
 
 
 def op_shares(analysis) -> dict:
-    total = analysis.total_misses()
     os_total = sum(
         count for (dom, _k, _c), count in analysis.miss_counts.items()
         if dom.value == "os"

@@ -53,12 +53,21 @@ def run_experiment(
     """Build one exhibit (creating a context if none is shared).
 
     Built exhibits are cached on the context, so charts and repeated
-    requests do not repeat the expensive sweeps.
+    requests do not repeat the expensive sweeps. When the context has a
+    persistent :class:`~repro.sim.runcache.RunCache`, finished exhibit
+    tables are also kept on disk — this is what lets warm
+    ``repro-experiments run all`` invocations skip even the private
+    simulations the ablation exhibits run outside the shared context.
     """
     if ctx is None:
         ctx = ExperimentContext()
     if exhibit_id not in ctx.exhibit_cache:
-        ctx.exhibit_cache[exhibit_id] = get_experiment(exhibit_id).build(ctx)
+        get_experiment(exhibit_id)  # reject unknown ids before cache I/O
+        exhibit = ctx.load_cached_exhibit(exhibit_id)
+        if exhibit is None:
+            exhibit = get_experiment(exhibit_id).build(ctx)
+            ctx.store_cached_exhibit(exhibit_id, exhibit)
+        ctx.exhibit_cache[exhibit_id] = exhibit
     return ctx.exhibit_cache[exhibit_id]
 
 

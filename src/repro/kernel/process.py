@@ -80,6 +80,23 @@ class Process:
     def runnable(self) -> bool:
         return self.state is ProcState.RUNNABLE
 
+    # ------------------------------------------------------------------
+    # Pickling: the driver is a live generator, which CPython cannot
+    # serialize. A pickled process (run cache, multiprocessing) is only
+    # ever *analyzed*, never resumed, so the driver is dropped on dump
+    # and replaced with an exhausted iterator on load — stepping a
+    # restored process simply exits it instead of crashing.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["driver"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self.driver is None:
+            self.driver = iter(())
+
     def note_dispatch(self, cpu_id: int) -> bool:
         """Record a dispatch; True if this dispatch migrated the process."""
         migrated = self.last_cpu not in (-1, cpu_id)

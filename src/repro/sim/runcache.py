@@ -1,0 +1,277 @@
+"""Persistent content-addressed cache for traced runs and exhibits.
+
+Simulating a workload at the experiments' default settings costs tens of
+seconds; the analysis pass costs seconds more. Every one of the paper's
+exhibits is derived from the same three traced runs, yet each pytest
+session, benchmark session and ``repro-experiments`` invocation used to
+re-simulate them from scratch. This module keeps finished
+:class:`~repro.sim.session.TracedRun` objects (plus their
+:class:`~repro.analysis.report.AnalysisReport` and derived
+:class:`~repro.experiments.base.Exhibit` tables) on disk so warm
+invocations only pay deserialization.
+
+Keying is *content addressed*: an entry's filename is a SHA-256 over the
+workload name, the effective run settings, any simulation overrides, the
+package version, and a digest of the simulator's own source files. Any
+edit to ``src/repro`` (outside ``experiments/``) therefore invalidates
+every cached run automatically; an edit anywhere in ``src/repro``
+invalidates cached exhibits. There is no mutable metadata to go stale
+and no manual invalidation step.
+
+Safety properties:
+
+- **atomic writes** — entries are written to a temp file in the cache
+  directory and ``os.replace``d into place, so a killed process never
+  leaves a truncated entry under the final name;
+- **corruption tolerance** — an unreadable/unpicklable entry is treated
+  as a miss (and unlinked), falling back to re-simulation;
+- **escape hatches** — ``REPRO_NO_CACHE=1`` (or ``--no-cache`` in the
+  CLI) disables the cache entirely; ``REPRO_CACHE_DIR`` (or
+  ``--cache-dir``) relocates it from the default ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+_ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+# Bump to shed all old entries when the on-disk payload layout changes.
+_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(_ENV_CACHE_DIR)
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def cache_disabled_by_env() -> bool:
+    value = os.environ.get(_ENV_NO_CACHE, "")
+    return value not in ("", "0", "false", "no")
+
+
+# ----------------------------------------------------------------------
+# Source digests
+# ----------------------------------------------------------------------
+# A traced run's bytes are determined by the simulator sources; an
+# exhibit's bytes additionally depend on the experiment modules. Digest
+# the package accordingly, once per process.
+
+_digest_memo: Dict[bool, str] = {}
+
+
+def source_digest(include_experiments: bool = False) -> str:
+    """SHA-256 over the package's ``.py`` files, hex-encoded.
+
+    ``include_experiments=False`` covers everything that can change a
+    simulation or its analysis (sim, kernel, memsys, workloads, and the
+    layers they build on); ``True`` additionally folds in
+    ``experiments/`` for exhibit-level entries.
+    """
+    if include_experiments in _digest_memo:
+        return _digest_memo[include_experiments]
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    hasher = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if not include_experiments and rel.startswith("experiments/"):
+            continue
+        hasher.update(rel.encode())
+        hasher.update(path.read_bytes())
+    digest = hasher.hexdigest()
+    _digest_memo[include_experiments] = digest
+    return digest
+
+
+def _package_version() -> str:
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+class RunCache:
+    """Content-addressed pickle store under one directory.
+
+    Payloads are plain dicts; the two entry kinds used today are
+
+    - run entries: ``{"run": TracedRun, "report": AnalysisReport|None}``
+    - exhibit entries: ``{"exhibit": Exhibit}``
+    """
+
+    def __init__(self, cache_dir=None, enabled: bool = True):
+        self.cache_dir = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+        self.enabled = enabled and not cache_disabled_by_env()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keying --------------------------------------------------------
+    @staticmethod
+    def _hash_material(material: Dict[str, Any]) -> str:
+        blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:40]
+
+    def run_key(
+        self,
+        workload: str,
+        horizon_ms: float,
+        warmup_ms: float,
+        seed: int,
+        sim_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Key for one traced run at fully-resolved settings.
+
+        Non-primitive override values (tuning dataclasses, layouts) are
+        keyed by ``repr``; dataclass reprs are deterministic and change
+        whenever a field does, which is exactly the invalidation we want.
+        """
+        material = {
+            "format": _FORMAT,
+            "kind": "run",
+            "workload": workload,
+            "horizon_ms": horizon_ms,
+            "warmup_ms": warmup_ms,
+            "seed": seed,
+            "overrides": {
+                name: repr(value) for name, value in (sim_kwargs or {}).items()
+            },
+            "version": _package_version(),
+            "sources": source_digest(include_experiments=False),
+        }
+        return "run-" + self._hash_material(material)
+
+    def exhibit_key(self, exhibit_id: str, settings) -> str:
+        material = {
+            "format": _FORMAT,
+            "kind": "exhibit",
+            "exhibit_id": exhibit_id,
+            "settings": repr(settings),
+            "version": _package_version(),
+            "sources": source_digest(include_experiments=True),
+        }
+        return "exhibit-" + self._hash_material(material)
+
+    # -- I/O -----------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or None (counted as a miss).
+
+        Any failure to read or unpickle — truncated file, stale class
+        layout, flipped bits — is swallowed: the entry is unlinked and
+        the caller re-simulates.
+        """
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if not isinstance(payload, dict):
+                raise ValueError("cache payload is not a dict")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Dict[str, Any]) -> bool:
+        """Atomically persist ``payload`` under ``key``; False if disabled
+        or the write failed (a full disk must never fail a run)."""
+        if not self.enabled:
+            return False
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            return False
+        self.stores += 1
+        return True
+
+    # -- reporting -----------------------------------------------------
+    def stats_line(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (
+            f"cache[{state}] {self.cache_dir}: "
+            f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
+        )
+
+
+# ----------------------------------------------------------------------
+# Convenience entry point shared by ExperimentContext, the parallel
+# runner and the pytest/benchmark fixtures.
+# ----------------------------------------------------------------------
+def load_or_run(
+    cache: Optional[RunCache],
+    workload: str,
+    horizon_ms: float,
+    warmup_ms: float,
+    seed: int,
+    sim_kwargs: Optional[Dict[str, Any]] = None,
+    analyze: bool = False,
+):
+    """Fetch ``(TracedRun, AnalysisReport|None)``, simulating on a miss.
+
+    With ``analyze=True`` the analysis report is computed (and cached)
+    too; a cached run whose entry predates the report request is
+    upgraded in place.
+    """
+    from repro.sim.session import Simulation
+
+    sim_kwargs = dict(sim_kwargs or {})
+    key = None
+    if cache is not None:
+        key = cache.run_key(workload, horizon_ms, warmup_ms, seed, sim_kwargs)
+        payload = cache.load(key)
+        if payload is not None:
+            run, report = payload.get("run"), payload.get("report")
+            if run is not None:
+                if analyze and report is None:
+                    report = _analyze(run)
+                    cache.store(key, {"run": run, "report": report})
+                return run, report
+    sim = Simulation(workload, seed=seed, **sim_kwargs)
+    run = sim.run(horizon_ms, warmup_ms=warmup_ms)
+    report = _analyze(run) if analyze else None
+    if cache is not None and key is not None:
+        cache.store(key, {"run": run, "report": report})
+    return run, report
+
+
+def _analyze(run):
+    from repro.analysis.report import analyze_trace
+
+    return analyze_trace(run)

@@ -35,7 +35,15 @@ from repro.workloads import Workload, make_workload
 
 @dataclass
 class TracedRun:
-    """Everything a finished traced run hands to the analysis pipeline."""
+    """Everything a finished traced run hands to the analysis pipeline.
+
+    A finished run is picklable (workload driver generators are dropped
+    by :meth:`repro.kernel.process.Process.__getstate__`), which is what
+    lets :mod:`repro.sim.runcache` persist runs across sessions and the
+    parallel experiment runner ship them between processes. A restored
+    run supports the whole analysis surface but must not be resumed —
+    its processes' drivers are gone.
+    """
 
     workload_name: str
     params: MachineParams

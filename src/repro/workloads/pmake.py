@@ -93,7 +93,6 @@ class PmakeWorkload(Workload):
     # The make coordinator
     # ------------------------------------------------------------------
     def make_driver(self) -> Iterator:
-        rng = self._rng
         running: List = []
         for i in range(self.num_files):
             while len(running) >= self.max_jobs:
@@ -131,7 +130,6 @@ class PmakeWorkload(Workload):
         # Front end: read the source and the shared headers, parsing as
         # the text streams in.
         yield A.OpenFile(src_ino)
-        src_size = 0
         chunk = 4096
         offset = 0
         read = A.ReadFile(src_ino, 0, chunk)

@@ -1,7 +1,12 @@
 """Shared fixtures.
 
 Traced-run fixtures are session scoped: a short simulation per workload
-is reused by every analysis/integration test that only reads it.
+is reused by every analysis/integration test that only reads it. They
+also go through the persistent run cache (`repro.sim.runcache`), so
+repeated pytest sessions against unchanged simulator sources reload the
+runs from disk instead of re-simulating; the key embeds a source digest,
+so editing the simulator invalidates them automatically. Set
+``REPRO_NO_CACHE=1`` to force fresh simulations.
 """
 
 from __future__ import annotations
@@ -10,7 +15,10 @@ import pytest
 
 from repro.common.params import MachineParams
 from repro.memsys.system import MemorySystem
-from repro.sim.session import Simulation, TracedRun
+from repro.sim.runcache import RunCache, load_or_run
+from repro.sim.session import TracedRun
+
+_CACHE = RunCache()
 
 
 @pytest.fixture
@@ -24,8 +32,10 @@ def memsys(params) -> MemorySystem:
 
 
 def _run(workload: str, horizon_ms: float, warmup_ms: float, **kwargs) -> TracedRun:
-    sim = Simulation(workload, seed=3, **kwargs)
-    return sim.run(horizon_ms, warmup_ms=warmup_ms)
+    run, _ = load_or_run(
+        _CACHE, workload, horizon_ms, warmup_ms, seed=3, sim_kwargs=kwargs
+    )
+    return run
 
 
 @pytest.fixture(scope="session")

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.kernel.layout import ICACHE_BYTES, KernelLayout
+from repro.kernel.layout import KernelLayout
 from repro.memsys.memory import KTEXT_BASE, KTEXT_SIZE
 from repro.opt.codelayout import (
-    LayoutPlan,
     conflict_cost,
     optimize_layout,
 )

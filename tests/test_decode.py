@@ -89,7 +89,6 @@ class TestTimeAccounting:
 class TestInvocations:
     def test_invocation_count_matches_kernel(self, truth_and_analysis):
         run, report = truth_and_analysis
-        analysis = report.analysis
         # Kernel counts every os_invocation() including nested ones and
         # UTLB faults; the analyzer's outermost invocations + UTLB
         # spikes + nested entries must add up.

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.common.types import Mode
-from repro.kernel.process import DATA_VBASE, Image, ProcState
-from repro.sim.usermode import BLOCKED, EXITED, RAN, SWITCHED, UserEngine
+from repro.kernel.process import Image, ProcState
+from repro.sim.usermode import BLOCKED, EXITED, RAN, UserEngine
 from repro.workloads import actions as A
 from repro.workloads.base import EngineConfig
 from tests.test_kernel_core import make_kernel

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.rng import substream
 from repro.common.types import Mode
-from repro.kernel.fs import BUFFER_BYTES, Disk, READAHEAD_BUFFERS
+from repro.kernel.fs import Disk, READAHEAD_BUFFERS
 from repro.kernel.process import Image, ProcState
 from tests.test_kernel_core import dummy_driver, make_kernel
 

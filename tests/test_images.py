@@ -37,7 +37,7 @@ class TestTextRelease:
         image = Image("prog", text_pages=4, file_ino=50)
         preload_image(kernel, image)
         a = kernel.create_process("a", image, dummy_driver())
-        b = kernel.create_process("b", image, dummy_driver())
+        kernel.create_process("b", image, dummy_driver())
         kernel.current[0] = a
         a.state = ProcState.RUNNING
         kernel.syscalls.exit(cpus[0], a)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.decode import AppInterval, OsInvocation, TraceAnalysis
-from repro.analysis.model import OsActivityModel, PhaseModel, validate_model
+from repro.analysis.model import OsActivityModel, validate_model
 from repro.analysis.report import analyze_trace
 from repro.common.rng import substream
 

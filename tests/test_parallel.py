@@ -1,0 +1,94 @@
+"""Parallel runner determinism: serial and --jobs N output must be identical."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.base import ExperimentContext, RunSettings
+from repro.experiments.registry import run_experiment
+from repro.sim.runcache import RunCache
+
+# Tiny windows keep the three-per-context simulations cheap.
+_SMALL = RunSettings(horizon_ms=4.0, warmup_ms=10.0, seed=5)
+_EXHIBITS = ["table1", "table3", "figure3"]
+
+
+@pytest.fixture(scope="module")
+def serial_texts():
+    ctx = ExperimentContext(_SMALL)
+    return {e: run_experiment(e, ctx).to_text() for e in _EXHIBITS}
+
+
+def test_default_jobs_bounds():
+    jobs = parallel.default_jobs()
+    assert 1 <= jobs <= 3
+
+
+def test_parallel_matches_serial_without_cache(serial_texts):
+    ctx = ExperimentContext(_SMALL)
+    built = parallel.run_exhibits(ctx, _EXHIBITS, jobs=3)
+    assert [e for e, _ in built] == _EXHIBITS
+    for exhibit_id, exhibit in built:
+        assert exhibit.to_text() == serial_texts[exhibit_id]
+
+
+def test_parallel_matches_serial_with_cache(serial_texts, tmp_path):
+    cold = ExperimentContext(_SMALL, cache=RunCache(cache_dir=tmp_path))
+    built = parallel.run_exhibits(cold, _EXHIBITS, jobs=3)
+    for exhibit_id, exhibit in built:
+        assert exhibit.to_text() == serial_texts[exhibit_id]
+
+    # Second, warm context: everything must come from disk, unchanged.
+    warm = ExperimentContext(_SMALL, cache=RunCache(cache_dir=tmp_path))
+    rebuilt = parallel.run_exhibits(warm, _EXHIBITS, jobs=3)
+    for exhibit_id, exhibit in rebuilt:
+        assert exhibit.to_text() == serial_texts[exhibit_id]
+    assert warm.cache.hits == len(_EXHIBITS)
+    assert warm.cache.misses == 0
+
+
+def test_parallel_merges_state_back(serial_texts):
+    """After a parallel build the context looks like a serial one."""
+    ctx = ExperimentContext(_SMALL)
+    parallel.run_exhibits(ctx, _EXHIBITS, jobs=3)
+    assert set(_EXHIBITS) <= set(ctx.exhibit_cache)
+    # Base runs were merged back, so further serial derivations reuse
+    # them (and agree with the fully serial reference).
+    for workload in parallel.BASE_WORKLOADS:
+        assert (workload, ()) in ctx._runs
+        assert (workload, ()) in ctx._reports
+    assert run_experiment("table4", ctx).to_text()
+
+
+def test_single_exhibit_stays_serial(serial_texts):
+    """jobs>1 with one target must not spin up a pool (and must match)."""
+    ctx = ExperimentContext(_SMALL)
+    built = parallel.run_exhibits(ctx, ["table1"], jobs=3)
+    assert built[0][1].to_text() == serial_texts["table1"]
+
+
+def test_jobs_one_is_pure_serial(serial_texts):
+    ctx = ExperimentContext(_SMALL)
+    built = parallel.run_exhibits(ctx, _EXHIBITS, jobs=1)
+    for exhibit_id, exhibit in built:
+        assert exhibit.to_text() == serial_texts[exhibit_id]
+
+
+def test_cli_defaults_track_runsettings():
+    """argparse defaults must come from RunSettings, not hardcoded copies."""
+    from repro.experiments import cli
+
+    assert cli._DEFAULTS == RunSettings()
+
+
+def test_cli_parallel_output_matches_serial(tmp_path, capsys):
+    from repro.experiments.cli import main
+
+    args = ["--horizon-ms", "4", "--warmup-ms", "10", "--no-cache"]
+    assert main(["run", "table3", "--jobs", "1"] + args) == 0
+    serial_out = capsys.readouterr().out
+    assert main(["run", "table3", "--jobs", "3"] + args) == 0
+    parallel_out = capsys.readouterr().out
+    assert parallel_out == serial_out
+    assert "table3" in serial_out

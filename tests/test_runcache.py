@@ -1,0 +1,145 @@
+"""Persistent run-cache behaviour: hits, invalidation, corruption, escape hatches."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis.report import AnalysisReport
+from repro.sim.runcache import (
+    RunCache,
+    cache_disabled_by_env,
+    default_cache_dir,
+    load_or_run,
+    source_digest,
+)
+from repro.sim.session import TracedRun
+
+# Tiny windows: these tests exercise cache plumbing, not the simulator.
+HORIZON, WARMUP, SEED = 2.0, 5.0, 11
+
+
+@pytest.fixture
+def cache(tmp_path) -> RunCache:
+    return RunCache(cache_dir=tmp_path / "cache")
+
+
+def _get(cache, **kwargs):
+    defaults = dict(
+        workload="pmake", horizon_ms=HORIZON, warmup_ms=WARMUP, seed=SEED
+    )
+    defaults.update(kwargs)
+    return load_or_run(cache, **defaults)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_warm_hit(self, cache):
+        run, _ = _get(cache)
+        assert isinstance(run, TracedRun)
+        assert (cache.hits, cache.misses, cache.stores) == (0, 1, 1)
+
+        run2, _ = _get(cache)
+        assert cache.hits == 1
+        # The reloaded run carries the same measured state.
+        assert run2.workload_name == run.workload_name
+        assert run2.measure_from_cycles == run.measure_from_cycles
+        assert list(run2.trace.all_entries()) == list(run.trace.all_entries())
+
+    def test_report_upgrade_persists(self, cache):
+        _get(cache)  # stores run with report=None
+        _, report = _get(cache, analyze=True)  # hit; upgrades entry in place
+        assert isinstance(report, AnalysisReport)
+        fresh = RunCache(cache_dir=cache.cache_dir)
+        _, report2 = _get(fresh, analyze=True)
+        assert (fresh.hits, fresh.misses) == (1, 0)
+        assert report2.analysis.user_ticks == report.analysis.user_ticks
+
+    def test_run_equivalent_to_fresh_simulation(self, cache):
+        """A cache round-trip and a fresh simulation record the same trace."""
+        run, _ = _get(cache)
+        cached, _ = _get(RunCache(cache_dir=cache.cache_dir))
+        fresh, _ = _get(None)
+        reference = list(run.trace.all_entries())
+        assert list(cached.trace.all_entries()) == reference
+        assert list(fresh.trace.all_entries()) == reference
+
+
+class TestInvalidation:
+    def test_settings_change_misses(self, cache):
+        _get(cache)
+        _get(cache, horizon_ms=HORIZON + 1.0)
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_seed_and_workload_in_key(self, cache):
+        base = cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        assert base == cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        assert base != cache.run_key("pmake", HORIZON, WARMUP, SEED + 1)
+        assert base != cache.run_key("multpgm", HORIZON, WARMUP, SEED)
+
+    def test_overrides_in_key(self, cache):
+        base = cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        over = cache.run_key(
+            "pmake", HORIZON, WARMUP, SEED, {"monitor_strict": True}
+        )
+        assert base != over
+
+    def test_source_digest_stable_and_split(self):
+        assert source_digest(False) == source_digest(False)
+        assert source_digest(False) != source_digest(True)
+
+
+class TestCorruption:
+    def test_corrupt_entry_falls_back_to_simulation(self, cache):
+        run, _ = _get(cache)
+        key = cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle at all")
+
+        fresh = RunCache(cache_dir=cache.cache_dir)
+        run2, _ = _get(fresh)
+        assert fresh.hits == 0 and fresh.misses == 1
+        assert list(run2.trace.all_entries()) == list(run.trace.all_entries())
+        # The poisoned file was replaced by a good entry.
+        with open(path, "rb") as fh:
+            assert pickle.load(fh)["run"].workload_name == "pmake"
+
+    def test_wrong_payload_type_is_a_miss(self, cache):
+        key = "run-" + "0" * 40
+        cache.cache_dir.mkdir(parents=True, exist_ok=True)
+        cache._path(key).write_bytes(pickle.dumps([1, 2, 3]))
+        assert cache.load(key) is None
+        assert not cache._path(key).exists()
+
+
+class TestEscapeHatches:
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        cache = RunCache(cache_dir=tmp_path / "c", enabled=False)
+        _get(cache)
+        _get(cache)
+        assert not (tmp_path / "c").exists()
+        assert (cache.hits, cache.misses, cache.stores) == (0, 0, 0)
+
+    def test_env_no_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert cache_disabled_by_env()
+        cache = RunCache(cache_dir=tmp_path / "c")
+        assert not cache.enabled
+        monkeypatch.setenv("REPRO_NO_CACHE", "0")
+        assert not cache_disabled_by_env()
+
+    def test_env_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+        assert RunCache().cache_dir == tmp_path / "elsewhere"
+
+    def test_cli_no_cache_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "run", "table3",
+            "--horizon-ms", "1", "--warmup-ms", "2",
+            "--jobs", "1", "--no-cache", "--cache-dir", str(tmp_path / "c"),
+        ]) == 0
+        assert not (tmp_path / "c").exists()
+        assert "table3" in capsys.readouterr().out

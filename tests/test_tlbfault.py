@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.types import HighLevelOp, Mode
+from repro.common.types import Mode
 from repro.kernel.process import DATA_VBASE, Image, ProcState
 from tests.test_fs import drain_disk
 from tests.test_kernel_core import dummy_driver, make_kernel

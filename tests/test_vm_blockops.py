@@ -3,9 +3,9 @@
 import pytest
 
 from repro.common.types import Mode
-from repro.kernel.vm import USE_BUFFER, USE_DATA, USE_TEXT
-from tests.test_kernel_core import dummy_driver, make_kernel
-from repro.kernel.process import Image, ProcState
+from repro.kernel.vm import USE_DATA, USE_TEXT
+from tests.test_kernel_core import make_kernel
+from repro.kernel.process import ProcState
 
 
 @pytest.fixture
