@@ -58,6 +58,11 @@ class Processor:
         # progress, the latency of the misses is hidden" — Section 4.2.2).
         # Bus traffic and cache effects still happen.
         self.prefetch_mode = False
+        # Sanitizer hook (repro.sanitizers): called with
+        # (cpu_id, addr, write) on the word-granularity reference paths
+        # the kernel uses for structure touches. None when checking is
+        # off; the block-granularity user paths are never probed.
+        self.access_probe = None
 
     # ------------------------------------------------------------------
     # Mode transitions
@@ -119,6 +124,8 @@ class Processor:
 
     def dread(self, addr: int) -> None:
         """Load from one data address."""
+        if self.access_probe is not None:
+            self.access_probe(self.cpu_id, addr, False)
         self.advance(DTOUCH_ISSUE_CYCLES)
         self._stall(
             self.memsys.dread(
@@ -129,6 +136,8 @@ class Processor:
 
     def dwrite(self, addr: int) -> None:
         """Store to one data address."""
+        if self.access_probe is not None:
+            self.access_probe(self.cpu_id, addr, True)
         self.advance(DTOUCH_ISSUE_CYCLES)
         self._stall(
             self.memsys.dwrite(
@@ -153,6 +162,9 @@ class Processor:
         """Sweep a data range block by block (structure touches, block ops)."""
         if size <= 0:
             return
+        if self.access_probe is not None:
+            # Structure sweeps stay within one region; attribute by base.
+            self.access_probe(self.cpu_id, base, write)
         block_bytes = self._block_bytes
         first = base // block_bytes
         last = (base + size - 1) // block_bytes

@@ -24,6 +24,10 @@ class RunSettings:
     horizon_ms: float = 80.0
     warmup_ms: float = 500.0
     seed: int = 7
+    # Run with the repro.sanitizers invariant checkers installed
+    # (``--check`` / ``REPRO_CHECK=1``). Part of the frozen settings so
+    # exhibit cache keys (repr-based) distinguish checked runs too.
+    check: bool = False
 
 
 class ExperimentContext:
@@ -57,6 +61,8 @@ class ExperimentContext:
         horizon = sim_kwargs.pop("horizon_ms", self.settings.horizon_ms)
         warmup = sim_kwargs.pop("warmup_ms", self.settings.warmup_ms)
         seed = sim_kwargs.pop("seed", self.settings.seed)
+        if self.settings.check:
+            sim_kwargs.setdefault("check", True)
         return horizon, warmup, seed, sim_kwargs
 
     def run(self, workload: str, **overrides) -> TracedRun:

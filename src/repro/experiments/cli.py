@@ -15,6 +15,7 @@ from typing import List, Optional
 from repro.experiments import parallel
 from repro.experiments.base import ExperimentContext, RunSettings
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.sanitizers import check_enabled_by_env
 from repro.sim.runcache import RunCache
 
 # argparse defaults come from the dataclass so the CLI cannot drift
@@ -52,6 +53,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--charts", action="store_true",
         help="also render the exhibit's ASCII figure, if it has one",
     )
+    run_cmd.add_argument(
+        "--check", action="store_true",
+        help="run with the repro.sanitizers invariant checkers (lockdep, "
+             "races, coherence) and fail on any violation "
+             "(also: REPRO_CHECK=1)",
+    )
     sub.add_parser("list", help="list exhibit ids")
     args = parser.parse_args(argv)
 
@@ -60,12 +67,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(exhibit_id)
         return 0
 
+    check = args.check or check_enabled_by_env()
+    if check and args.jobs > 1:
+        # Reports live on the simulations in this process; worker
+        # processes would strand them. Checked runs are serial.
+        print("[--check forces jobs=1]", file=sys.stderr)
+        args.jobs = 1
     cache = RunCache(cache_dir=args.cache_dir, enabled=not args.no_cache)
     ctx = ExperimentContext(
         RunSettings(
             horizon_ms=args.horizon_ms,
             warmup_ms=args.warmup_ms,
             seed=args.seed,
+            check=check,
         ),
         cache=cache,
     )
@@ -88,7 +102,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
     print(f"[{time.time() - start:.1f}s, jobs={args.jobs}]", file=sys.stderr)
     print(cache.stats_line(), file=sys.stderr)
+    if check:
+        return _report_checks(ctx)
     return 0
+
+
+def _report_checks(ctx: ExperimentContext) -> int:
+    """Summarize the sanitizer reports of every run behind the exhibits.
+
+    Summaries go to stderr (one line per run) so checked stdout stays
+    byte-identical to unchecked stdout; full violation reports are
+    printed only when something fired. Exit code 2 on any violation.
+    """
+    reports = []
+    seen = set()
+    for run in ctx._runs.values():
+        if id(run) in seen:
+            continue  # the same run can sit under several context keys
+        seen.add(id(run))
+        report = run.check_report
+        if report is not None:
+            reports.append(report)
+    if not reports:
+        # Exhibits (and their checked runs) came straight from the cache;
+        # they were verified clean when stored. Use --no-cache to re-check.
+        print("sanitizers: all runs served from cache (verified at store "
+              "time); --no-cache re-checks", file=sys.stderr)
+        return 0
+    failed = False
+    for report in reports:
+        print(report.summary(), file=sys.stderr)
+        if not report.ok:
+            failed = True
+            print(report.to_text(), file=sys.stderr)
+    return 2 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

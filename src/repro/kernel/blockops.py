@@ -157,6 +157,8 @@ class BlockOps:
             for hierarchy in memsys.hierarchies:
                 if hierarchy.invalidate_data(block):
                     memsys.truth.record_invalidation(hierarchy.cpu, "D", block)
+            # Memory now holds the data and no cache does: no owner.
+            memsys._owner.pop(block, None)
 
     # ------------------------------------------------------------------
     def pfdat_traverse(self, proc, start_entry: int, num_entries: int) -> None:

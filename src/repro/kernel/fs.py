@@ -24,7 +24,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.kernel.structures import NBUF, NINODE
+from repro.kernel.structures import NBUF, NINODE, StructName
 from repro.kernel.vm import USE_BUFFER
 
 BUFFER_BYTES = 1024  # a quarter of a 4 KB page (Table 7's regular fragment)
@@ -369,10 +369,15 @@ class FsSubsystem:
         kind, ino, fblocks = payload
         if kind != "read":
             return
-        for fblock in fblocks:
-            entry = self.buffer_cache._entries.get((ino, fblock))
-            if entry is not None:
-                entry.valid = True
-                entry.io_pending = False
-                proc.dwrite(self.k.datamap.buffer_header(entry.header_idx))
-            self.k.wakeup(("buffer", ino, fblock), proc)
+        # The completion writes buffer headers without Bfreelock: disk
+        # interrupts are serialized on CPU 0 and the headers' I/O fields
+        # are guarded by interrupt level (spl), not a spinlock — the
+        # pre-fine-grain-locking discipline. Annotated for the checker.
+        with self.k.race_exempt(proc, StructName.BUFFER):
+            for fblock in fblocks:
+                entry = self.buffer_cache._entries.get((ino, fblock))
+                if entry is not None:
+                    entry.valid = True
+                    entry.io_pending = False
+                    proc.dwrite(self.k.datamap.buffer_header(entry.header_idx))
+                self.k.wakeup(("buffer", ino, fblock), proc)

@@ -13,6 +13,7 @@ on every CPU every 10 ms.
 from __future__ import annotations
 
 from repro.common.types import InterruptKind
+from repro.kernel.structures import StructName
 
 DEVICE_CPU = 0
 NETWORK_CPU = 1
@@ -35,6 +36,10 @@ class Interrupts:
 
     def _enter(self, proc, kind: InterruptKind) -> None:
         self.counts[kind] += 1
+        if self.k.checks is not None:
+            self.k.checks.lockdep.on_interrupt_entry(
+                proc.cpu_id, proc.cycles, kind.name
+            )
         self.k.instr.intr_enter(proc, _INTR_CODE[kind])
 
     def _exit(self, proc) -> None:
@@ -78,9 +83,13 @@ class Interrupts:
         proc.ifetch_range(*k.routine_span("runq_schedprio"))
         proc.dread(k.datamap.hi_ndproc_base)
         tick = self._clock_ticks[proc.cpu_id]
-        for i in range(_SCHEDPRIO_SWEEP):
-            slot = (tick * _SCHEDPRIO_SWEEP + i) % 128
-            proc.dwrite(k.datamap.proc_entry(slot))
+        # The sweep writes p_cpu of entries whose processes may be
+        # running on other CPUs, without Runqlk — an intentional lossy
+        # decay update (System V clock code), annotated as such.
+        with k.race_exempt(proc, StructName.PROC_TABLE):
+            for i in range(_SCHEDPRIO_SWEEP):
+                slot = (tick * _SCHEDPRIO_SWEEP + i) % 128
+                proc.dwrite(k.datamap.proc_entry(slot))
         for process in k.processes.values():
             if process.priority > 20:
                 process.priority -= 1

@@ -16,7 +16,7 @@ simulation session and the workload engine drive:
 from __future__ import annotations
 
 import heapq
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -94,6 +94,9 @@ class Kernel:
 
         self.layout = layout if layout is not None else KernelLayout()
         self.datamap = KernelDataMap()
+        # Sanitizer hook: a CheckRegistry when invariant checking is on
+        # (repro.sanitizers installs itself here), None otherwise.
+        self.checks = None
         self.syncbus = SyncBus()
         self.llsc = CachedLockSimulator(
             bus_stall_cycles=params.bus_stall_cycles,
@@ -208,6 +211,18 @@ class Kernel:
 
     def in_kernel(self, cpu: int) -> bool:
         return self._kdepth[cpu] > 0
+
+    def race_exempt(self, proc: Processor, *structs):
+        """Annotate an intentional lock-free structure access.
+
+        The kernel's ``data_race()``-style escape hatch: the with-block
+        may touch ``structs`` without their protecting lock (priority
+        decay sweeps, interrupt-level ``spl``-protected writes) without
+        the race checker flagging it. A no-op when checking is off.
+        """
+        if self.checks is None:
+            return nullcontext()
+        return self.checks.races.allow(proc.cpu_id, *structs)
 
     # ------------------------------------------------------------------
     # Address translation for user references

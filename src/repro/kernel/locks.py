@@ -151,6 +151,9 @@ class LockTable:
     ):
         self.syncbus = syncbus
         self.llsc = llsc if llsc is not None else CachedLockSimulator()
+        # Sanitizer hook: a CheckRegistry when invariant checking is on
+        # (repro.sanitizers), None — one branch per acquire — otherwise.
+        self.checks = None
         self._locks: Dict[str, KernelLock] = {}
         for name in ("memlock", "ifree", "dfbmaplk", "bfreelock",
                      "calock", "semlock"):
@@ -229,6 +232,8 @@ class LockTable:
         lock.acquire_cycles = proc.cycles
         lock.release_cycles = proc.cycles  # grows as the holder executes
         lock.interval_waiters = 0
+        if self.checks is not None:
+            self.checks.lockdep.on_acquire(cpu, proc.cycles, lock)
 
     def release(self, proc: Processor, lock: KernelLock) -> None:
         if lock.holder_cpu != proc.cpu_id:
@@ -242,6 +247,8 @@ class LockTable:
         self.llsc.on_release(lock.family, proc.cpu_id)
         lock.holder_cpu = None
         lock.release_cycles = proc.cycles
+        if self.checks is not None:
+            self.checks.lockdep.on_release(proc.cpu_id, proc.cycles, lock)
 
     @contextmanager
     def held(self, proc: Processor, name: str) -> Iterator[KernelLock]:

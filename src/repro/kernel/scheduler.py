@@ -157,6 +157,8 @@ class Scheduler:
         """
         k = self.k
         self.context_switches += 1
+        if k.checks is not None:
+            k.checks.lockdep.on_context_switch(proc.cpu_id, proc.cycles)
         proc.ifetch_range(*k.routine_span("runq_switch"))
         if old is not None:
             proc.ifetch_range(*k.routine_span("runq_save_ctx"))

@@ -52,6 +52,9 @@ class MemorySystem:
         self.truth = GroundTruth(params.num_cpus, record_events=record_events)
         # block -> owning CPU for exclusively-held (written) blocks.
         self._owner: Dict[int, int] = {}
+        # Sanitizer hook: a CoherenceChecker when invariant checking is
+        # on (repro.sanitizers); None-guarded on miss/upgrade paths only.
+        self.checker = None
         self.block_bytes = params.block_bytes
         # Counters the experiments use directly.
         self.bus_reads = 0
@@ -98,6 +101,8 @@ class MemorySystem:
             self._owner.pop(block, None)
         self.bus_reads += 1
         self.bus.transaction(time_cycles, cpu, block * self.block_bytes, BusOp.READ)
+        if self.checker is not None:
+            self.checker.after_data_read(time_cycles, cpu, block)
         return self.params.bus_stall_cycles
 
     def dwrite(
@@ -116,10 +121,20 @@ class MemorySystem:
         if outcome is AccessOutcome.MISS:
             if victim != EMPTY:
                 self.truth.record_eviction(cpu, DATA, victim, domain, app_epoch)
+                if self._owner.get(victim) == cpu:
+                    # Evicting an owned line writes it back: nobody owns
+                    # it any more. (Without this, a later write to the
+                    # victim by this CPU would fill the cache with no
+                    # bus transaction — a fill the monitor cannot see.)
+                    del self._owner[victim]
             self.truth.classify_and_record(
                 time_cycles, cpu, DATA, block, domain, app_epoch
             )
+        transacted = False
+        icache_before = ()
         if self._owner.get(block, SHARED) != cpu:
+            if self.checker is not None:
+                icache_before = self.checker.snapshot_icaches(block)
             # Gain ownership: one bus transaction invalidating other copies.
             for other in self.hierarchies:
                 if other.cpu != cpu and other.invalidate_data(block):
@@ -130,6 +145,14 @@ class MemorySystem:
                 time_cycles, cpu, block * self.block_bytes, BusOp.WRITE
             )
             stall += self.params.bus_stall_cycles
+            transacted = True
+        if self.checker is not None and (
+            transacted or outcome is AccessOutcome.MISS
+        ):
+            self.checker.after_data_write(
+                time_cycles, cpu, block, outcome is AccessOutcome.MISS,
+                transacted, icache_before,
+            )
         return stall
 
     # ------------------------------------------------------------------
@@ -166,6 +189,8 @@ class MemorySystem:
             for block in hierarchy.invalidate_instr_range(first_block, num_blocks):
                 self.truth.record_invalidation(hierarchy.cpu, INSTR, block)
                 flushed += 1
+        if self.checker is not None:
+            self.checker.after_icache_flush(first_block, num_blocks)
         return flushed
 
     def flush_all_icaches(self) -> int:
@@ -180,6 +205,8 @@ class MemorySystem:
             for block in hierarchy.icache.invalidate_all():
                 self.truth.record_invalidation(hierarchy.cpu, INSTR, block)
                 flushed += 1
+        if self.checker is not None:
+            self.checker.after_full_icache_flush()
         return flushed
 
     # ------------------------------------------------------------------

@@ -1,0 +1,220 @@
+"""Lock-order validation for the Table 11 lock inventory.
+
+Linux-lockdep's core idea, applied to the simulated kernel: observe the
+*order* in which lock classes are nested at runtime and maintain a
+directed graph of "A was held while B was acquired" edges. A cycle in
+that graph is a potential deadlock even if the run itself never
+deadlocked — two CPUs interleaving the two recorded chains can.
+
+Ordering is tracked at the *family* level (``shr_x``, ``ino_x``, ...),
+matching how the kernel reasons about its lock arrays; a self-edge
+(holding one ``shr_x`` while taking another) is reported too, since
+nothing orders instances within a family.
+
+Also enforced here, because the held-lock stacks live here:
+
+- no spinlock may still be held when the CPU context-switches;
+- no spinlock may be held at interrupt entry (the modelled handlers
+  take ``calock``/``runqlk``/``streams_x`` themselves, so a held lock at
+  entry is a self-deadlock waiting for the right interrupt timing);
+- nothing may be held when the run finishes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sanitizers.report import Violation
+
+# Frames from these files are lock-plumbing, not acquisition sites.
+_SKIP_BASENAMES = {"locks.py", "lockdep.py", "registry.py", "contextlib.py"}
+
+
+def acquisition_site() -> str:
+    """``file.py:line (function)`` of the frame that took the lock."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        base = os.path.basename(frame.f_code.co_filename)
+        if base not in _SKIP_BASENAMES:
+            return f"{base}:{frame.f_lineno} ({frame.f_code.co_name})"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+@dataclass
+class HeldLock:
+    """One entry of a CPU's held-lock stack."""
+
+    name: str
+    family: str
+    site: str
+    cycles: int
+
+    def __str__(self) -> str:
+        return f"{self.name} (acquired at {self.site})"
+
+
+@dataclass
+class LockOrderEdge:
+    """First observation of family ``a`` held while ``b`` was acquired."""
+
+    held_name: str
+    held_site: str
+    acquire_name: str
+    acquire_site: str
+    cpu: int
+    cycles: int
+
+    def describe(self, a: str, b: str) -> str:
+        return (f"{a} -> {b}: held {self.held_name} at {self.held_site}, "
+                f"then acquired {self.acquire_name} at {self.acquire_site} "
+                f"(cpu{self.cpu} @{self.cycles})")
+
+
+class LockDep:
+    """Online lock-order graph + held-lock assertions."""
+
+    def __init__(self, registry, num_cpus: int):
+        self.registry = registry
+        self.held: List[List[HeldLock]] = [[] for _ in range(num_cpus)]
+        # family -> {family -> first edge observation}
+        self.edges: Dict[str, Dict[str, LockOrderEdge]] = {}
+        self.acquires_checked = 0
+        self._reported_pairs: set = set()
+
+    # ------------------------------------------------------------------
+    # Acquire / release hooks (called by LockTable when installed)
+    # ------------------------------------------------------------------
+    def on_acquire(self, cpu: int, cycles: int, lock) -> None:
+        self.acquires_checked += 1
+        site = acquisition_site()
+        stack = self.held[cpu]
+        for entry in stack:
+            if entry.name == lock.name:
+                self.registry.record(Violation(
+                    "lockdep", "recursive-acquire", cpu, cycles,
+                    f"{lock.name} acquired while already held on this CPU",
+                    {"first": str(entry), "second": f"at {site}"},
+                ))
+                break
+        for entry in stack:
+            self._add_edge(entry, lock, cpu, cycles, site)
+        stack.append(HeldLock(lock.name, lock.family, site, cycles))
+
+    def on_release(self, cpu: int, cycles: int, lock) -> None:
+        stack = self.held[cpu]
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index].name == lock.name:
+                del stack[index]
+                return
+        self.registry.record(Violation(
+            "lockdep", "release-of-unheld", cpu, cycles,
+            f"{lock.name} released but not in this CPU's held set",
+        ))
+
+    # ------------------------------------------------------------------
+    # Lock-order graph
+    # ------------------------------------------------------------------
+    def _add_edge(self, held: HeldLock, lock, cpu: int, cycles: int,
+                  site: str) -> None:
+        a, b = held.family, lock.family
+        outgoing = self.edges.setdefault(a, {})
+        if b in outgoing:
+            return  # edge already known; its cycle check already ran
+        edge = LockOrderEdge(held.name, held.site, lock.name, site, cpu, cycles)
+        # Would a -> b close a cycle? (b -> ... -> a via recorded edges;
+        # a == b is the degenerate self-cycle.)
+        reverse_path = [] if a == b else self._find_path(b, a)
+        outgoing[b] = edge
+        if reverse_path is None:
+            return
+        pair = (a, b)
+        if pair in self._reported_pairs or (b, a) in self._reported_pairs:
+            return
+        self._reported_pairs.add(pair)
+        chain = [edge.describe(a, b)]
+        chain.extend(e.describe(x, y) for x, y, e in reverse_path)
+        self.registry.record(Violation(
+            "lockdep", "lock-order-cycle", cpu, cycles,
+            f"acquiring {lock.name} ({b}) while holding {held.name} ({a}) "
+            f"inverts the recorded order {b} -> {a}",
+            {
+                "new_edge": f"{a} -> {b}",
+                "held_at": held.site,
+                "acquired_at": site,
+                "cycle": chain,
+            },
+        ))
+
+    def _find_path(
+        self, src: str, dst: str
+    ) -> Optional[List[Tuple[str, str, LockOrderEdge]]]:
+        """BFS ``src -> ... -> dst`` over recorded edges, or None."""
+        if src == dst:
+            return []
+        parents: Dict[str, Tuple[str, LockOrderEdge]] = {}
+        frontier = [src]
+        seen = {src}
+        while frontier:
+            node = frontier.pop(0)
+            for succ, edge in self.edges.get(node, {}).items():
+                if succ in seen:
+                    continue
+                parents[succ] = (node, edge)
+                if succ == dst:
+                    path = []
+                    walk = dst
+                    while walk != src:
+                        prev, prev_edge = parents[walk]
+                        path.append((prev, walk, prev_edge))
+                        walk = prev
+                    path.reverse()
+                    return path
+                seen.add(succ)
+                frontier.append(succ)
+        return None
+
+    # ------------------------------------------------------------------
+    # Held-lock assertions
+    # ------------------------------------------------------------------
+    def on_context_switch(self, cpu: int, cycles: int) -> None:
+        stack = self.held[cpu]
+        if stack:
+            self.registry.record(Violation(
+                "lockdep", "held-at-context-switch", cpu, cycles,
+                "context switch with spinlock(s) held",
+                {"held": [str(entry) for entry in stack]},
+            ))
+
+    def on_interrupt_entry(self, cpu: int, cycles: int, kind: str) -> None:
+        stack = self.held[cpu]
+        if stack:
+            self.registry.record(Violation(
+                "lockdep", "held-at-interrupt-entry", cpu, cycles,
+                f"{kind} interrupt entered with spinlock(s) held",
+                {"held": [str(entry) for entry in stack]},
+            ))
+
+    def finalize(self, end_cycles: int) -> None:
+        for cpu, stack in enumerate(self.held):
+            if stack:
+                self.registry.record(Violation(
+                    "lockdep", "held-at-finish", cpu, end_cycles,
+                    "run finished with spinlock(s) held",
+                    {"held": [str(entry) for entry in stack]},
+                ))
+
+    # ------------------------------------------------------------------
+    # Queries (the race checker's view of lock state)
+    # ------------------------------------------------------------------
+    def holds_family(self, cpu: int, families) -> bool:
+        for entry in self.held[cpu]:
+            if entry.family in families:
+                return True
+        return False
+
+    def held_names(self, cpu: int) -> List[str]:
+        return [entry.name for entry in self.held[cpu]]

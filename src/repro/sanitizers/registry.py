@@ -1,0 +1,98 @@
+"""The :class:`CheckRegistry` façade: build, install, finalize, report.
+
+Design constraint: **near-zero overhead when disabled.** A simulation
+built without ``check=True`` never constructs a registry; every hook
+point in the kernel and memory system is a ``None``-default attribute
+(``LockTable.checks``, ``Processor.access_probe``,
+``MemorySystem.checker``, ``Kernel.checks``) guarded by a single
+``is not None`` test, and the hooks sit only on paths that are already
+expensive relative to that test (lock acquires, cache-miss handling,
+word-granularity kernel structure touches — never the block-granularity
+user reference stream).
+
+Everything the registry holds is plain data or bound methods, so a
+checked :class:`~repro.sim.session.TracedRun` still pickles into the
+persistent run cache — a reloaded checked run keeps its
+:class:`~repro.sanitizers.report.CheckReport`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sanitizers.coherence import CoherenceChecker
+from repro.sanitizers.lockdep import LockDep
+from repro.sanitizers.races import RaceChecker
+from repro.sanitizers.report import CheckReport, Violation
+
+_ENV_CHECK = "REPRO_CHECK"
+
+# Per-checker recording cap: a real invariant violation tends to recur
+# thousands of times per run; the first few attributions are what a
+# human needs, the rest only bloat the pickled run.
+MAX_RECORDED_PER_CHECKER = 50
+
+
+def check_enabled_by_env() -> bool:
+    """``REPRO_CHECK=1`` (or any non-empty, non-false value)."""
+    value = os.environ.get(_ENV_CHECK, "")
+    return value not in ("", "0", "false", "no")
+
+
+class CheckRegistry:
+    """Owns the three checkers and their shared violation sink."""
+
+    def __init__(self, num_cpus: int, datamap, workload: str = ""):
+        self.report_data = CheckReport(workload=workload)
+        self.lockdep = LockDep(self, num_cpus)
+        self.races = RaceChecker(self, datamap, num_cpus)
+        self.coherence = CoherenceChecker(self)
+        self._per_checker_counts = {"lockdep": 0, "race": 0, "coherence": 0}
+        self.finalized = False
+
+    # ------------------------------------------------------------------
+    # Violation sink
+    # ------------------------------------------------------------------
+    def record(self, violation: Violation) -> None:
+        count = self._per_checker_counts.get(violation.checker, 0)
+        self._per_checker_counts[violation.checker] = count + 1
+        if count < MAX_RECORDED_PER_CHECKER:
+            self.report_data.violations.append(violation)
+        else:
+            self.report_data.suppressed += 1
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def install(self, kernel, processors, memsys) -> "CheckRegistry":
+        """Attach the checkers to a built machine's hook points."""
+        kernel.checks = self
+        kernel.locks.checks = self
+        self.races.kernel = kernel
+        self.races.lockdep = self.lockdep
+        for proc in processors:
+            proc.access_probe = self.races.on_access
+        self.coherence.memsys = memsys
+        memsys.checker = self.coherence
+        return self
+
+    def finalize(self, end_cycles: int) -> CheckReport:
+        """End-of-run sweeps; idempotent (cached runs re-finalize)."""
+        if not self.finalized:
+            self.finalized = True
+            self.lockdep.finalize(end_cycles)
+            self.coherence.scan(end_cycles)
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> CheckReport:
+        self.report_data.counters = {
+            "lock_acquires": self.lockdep.acquires_checked,
+            "structure_accesses": self.races.accesses_checked,
+            "bus_writes": self.coherence.writes_checked,
+            "bus_reads": self.coherence.reads_checked,
+            "icache_flushes": self.coherence.flushes_checked,
+        }
+        return self.report_data

@@ -1,0 +1,70 @@
+"""Violation records and the per-run check report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Violation:
+    """One invariant violation, attributed to its actors.
+
+    ``details`` carries the checker-specific attribution — the lock pair
+    and both acquisition sites for lockdep, structure/slot/CPUs for the
+    race checker, the cache line and CPUs for the coherence checker —
+    so a report names exactly what went wrong, not just that something
+    did.
+    """
+
+    checker: str            # "lockdep" | "race" | "coherence"
+    kind: str               # e.g. "lock-order-cycle", "unlocked-write"
+    cpu: int
+    cycles: int
+    message: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        lines = [f"[{self.checker}:{self.kind}] cpu{self.cpu} @{self.cycles}: "
+                 f"{self.message}"]
+        for key, value in self.details.items():
+            if isinstance(value, (list, tuple)):
+                lines.append(f"    {key}:")
+                lines.extend(f"      - {item}" for item in value)
+            else:
+                lines.append(f"    {key}: {value}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckReport:
+    """Everything the sanitizers saw during one run."""
+
+    workload: str = ""
+    violations: List[Violation] = field(default_factory=list)
+    # Events examined per checker (lock acquires, structure accesses,
+    # bus writes, ...): evidence of coverage, not just of silence.
+    counters: Dict[str, int] = field(default_factory=dict)
+    # Violations beyond the per-checker cap are counted, not recorded.
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.suppressed
+
+    def summary(self) -> str:
+        checked = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.counters.items())
+        )
+        total = len(self.violations) + self.suppressed
+        status = "clean" if self.ok else f"{total} violation(s)"
+        workload = f" [{self.workload}]" if self.workload else ""
+        return f"sanitizers{workload}: {status} ({checked})"
+
+    def to_text(self) -> str:
+        lines = [self.summary()]
+        for violation in self.violations:
+            lines.append(violation.to_text())
+        if self.suppressed:
+            lines.append(f"  (+{self.suppressed} further violations suppressed)")
+        return "\n".join(lines)

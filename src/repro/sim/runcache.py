@@ -249,9 +249,19 @@ def load_or_run(
     too; a cached run whose entry predates the report request is
     upgraded in place.
     """
+    from repro.sanitizers import check_enabled_by_env
     from repro.sim.session import Simulation
 
     sim_kwargs = dict(sim_kwargs or {})
+    # Checked and unchecked runs must never cross-reuse: a run simulated
+    # with REPRO_CHECK=1 carries a CheckReport (and sanitizer state), an
+    # unchecked run does not. Resolve the env here so it enters the key;
+    # an explicit check=False is normalized away so pre-existing entries
+    # keyed without the flag stay valid.
+    if check_enabled_by_env():
+        sim_kwargs["check"] = True
+    elif not sim_kwargs.get("check", False):
+        sim_kwargs.pop("check", None)
     key = None
     if cache is not None:
         key = cache.run_key(workload, horizon_ms, warmup_ms, seed, sim_kwargs)

@@ -28,6 +28,7 @@ from repro.memsys.system import MemorySystem
 from repro.monitor.escapes import Instrumentation
 from repro.monitor.hwmonitor import HardwareMonitor, Trace
 from repro.monitor.master import MasterConfig, MasterTracer
+from repro.sanitizers import CheckRegistry, CheckReport, check_enabled_by_env
 from repro.sim.config import CALIBRATIONS
 from repro.sim.usermode import UserEngine
 from repro.workloads import Workload, make_workload
@@ -66,6 +67,18 @@ class TracedRun:
     def memsys(self) -> MemorySystem:
         return self.simulation.memsys
 
+    @property
+    def check_report(self) -> Optional[CheckReport]:
+        """The sanitizer report, if the run was simulated with checks.
+
+        Survives the run cache: the registry pickles with the
+        simulation, so a reloaded checked run still carries its report.
+        """
+        checks = self.simulation.checks
+        if checks is None:
+            return None
+        return checks.finalize(max(p.cycles for p in self.processors))
+
 
 class Simulation:
     """One machine + workload instance."""
@@ -81,6 +94,7 @@ class Simulation:
         master_config: Optional[MasterConfig] = None,
         monitor_strict: bool = False,
         layout=None,
+        check: bool = False,
     ):
         self.params = params if params is not None else MachineParams()
         self.seed = seed
@@ -124,6 +138,14 @@ class Simulation:
             self.params, self.memsys, self.processors, self.instr, tuning, seed,
             layout=layout,
         )
+        # Invariant checking (repro.sanitizers): explicit opt-in or
+        # REPRO_CHECK=1. When off, self.checks stays None and every hook
+        # in the kernel/memsys stays a dormant None-attribute.
+        self.checks: Optional[CheckRegistry] = None
+        if check or check_enabled_by_env():
+            self.checks = CheckRegistry(
+                self.params.num_cpus, self.kernel.datamap, workload.name
+            ).install(self.kernel, self.processors, self.memsys)
         self.engine = UserEngine(
             self.kernel, workload.engine_config, substream(seed, "engine")
         )
@@ -183,6 +205,8 @@ class Simulation:
             heapq.heappush(heap, (proc.cycles, seq, cpu))
         end = max(proc.cycles for proc in self.processors)
         self.master.finish(end)
+        if self.checks is not None:
+            self.checks.finalize(end)
         return TracedRun(
             self.workload.name, self.params, self.monitor.trace, self,
             measure_from_cycles=warmup,

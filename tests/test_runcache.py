@@ -88,6 +88,45 @@ class TestInvalidation:
         assert source_digest(False) == source_digest(False)
         assert source_digest(False) != source_digest(True)
 
+    def test_check_flag_in_key(self, cache):
+        """Checked and unchecked runs must never cross-reuse."""
+        base = cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        checked = cache.run_key("pmake", HORIZON, WARMUP, SEED, {"check": True})
+        assert base != checked
+
+    def test_checked_run_misses_unchecked_entry(self, cache, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        _get(cache)  # unchecked entry
+        run, _ = _get(cache, sim_kwargs={"check": True})
+        assert cache.hits == 0 and cache.misses == 2
+        assert run.check_report is not None and run.check_report.ok
+        # The checked entry round-trips with its report attached.
+        fresh = RunCache(cache_dir=cache.cache_dir)
+        reloaded, _ = load_or_run(
+            fresh, "pmake", HORIZON, WARMUP, SEED, sim_kwargs={"check": True}
+        )
+        assert fresh.hits == 1
+        assert reloaded.check_report is not None and reloaded.check_report.ok
+
+    def test_explicit_check_false_matches_default(self, cache, monkeypatch):
+        """check=False is normalized away: old unchecked entries stay valid."""
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        _get(cache)
+        _get(cache, sim_kwargs={"check": False})
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_env_check_enters_key(self, cache, monkeypatch):
+        """REPRO_CHECK=1 resolves into the key (and into the simulation)."""
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        _get(cache)
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        run, _ = _get(cache)
+        assert cache.hits == 0 and cache.misses == 2
+        assert run.check_report is not None
+        # Same env, second call: hits the checked entry, not the plain one.
+        _get(cache)
+        assert cache.hits == 1
+
 
 class TestCorruption:
     def test_corrupt_entry_falls_back_to_simulation(self, cache):

@@ -1,0 +1,509 @@
+"""repro.sanitizers: lockdep, race and coherence invariant checking.
+
+Two kinds of tests: *adversarial* ones inject exactly one violation —
+an out-of-order lock acquisition, an unlocked Process Table write, a
+double-dirty cache line — and assert the matching checker reports
+exactly that, fully attributed; *clean* ones assert the real kernel
+(including full simulated runs of every workload) passes with zero
+violations.
+"""
+
+import pickle
+
+import pytest
+
+from repro.common.types import HighLevelOp
+from repro.kernel.process import ProcState
+from repro.kernel.structures import StructName
+from repro.sanitizers import CheckRegistry
+from repro.sanitizers.races import STRUCT_PROTECTION
+from repro.sim.session import Simulation, run_traced_workload
+from repro.sim.usermode import LIBRARY_SPINS, SPIN_CYCLES, UserLock
+from repro.workloads import actions as A
+from tests.test_kernel_core import make_kernel
+
+
+def make_checked_kernel(num_cpus=4):
+    """A bare machine with the full sanitizer registry installed."""
+    kernel, cpus = make_kernel(num_cpus=num_cpus)
+    checks = CheckRegistry(num_cpus, kernel.datamap, "test").install(
+        kernel, cpus, kernel.memsys
+    )
+    return kernel, cpus, checks
+
+
+def violations(checks, checker=None, kind=None):
+    found = checks.report_data.violations
+    if checker is not None:
+        found = [v for v in found if v.checker == checker]
+    if kind is not None:
+        found = [v for v in found if v.kind == kind]
+    return found
+
+
+# ----------------------------------------------------------------------
+# Lockdep
+# ----------------------------------------------------------------------
+class TestLockdep:
+    def test_out_of_order_acquisition_reported(self):
+        """The injected inversion: memlock -> ifree then ifree -> memlock."""
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        with locks.held(cpus[0], "memlock"):
+            with locks.held(cpus[0], "ifree"):
+                pass
+        with locks.held(cpus[1], "ifree"):
+            with locks.held(cpus[1], "memlock"):
+                pass
+        found = violations(checks, "lockdep", "lock-order-cycle")
+        assert len(found) == 1
+        violation = found[0]
+        # Attributed to the acquiring CPU, naming both lock families and
+        # both acquisition sites of the inverting edge.
+        assert violation.cpu == 1
+        assert "memlock" in violation.message and "ifree" in violation.message
+        assert violation.details["new_edge"] == "ifree -> memlock"
+        assert "test_sanitizers.py" in violation.details["held_at"]
+        assert "test_sanitizers.py" in violation.details["acquired_at"]
+        # The cycle chain shows the previously recorded reverse edge too.
+        assert any("memlock -> ifree" in step
+                   for step in violation.details["cycle"])
+
+    def test_consistent_order_is_clean(self):
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        for cpu in (0, 1, 0):
+            with locks.held(cpus[cpu], "memlock"):
+                with locks.held(cpus[cpu], "ifree"):
+                    pass
+        assert checks.report_data.ok
+
+    def test_inversion_reported_once(self):
+        """A real inversion recurs; the pair is reported only once."""
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        with locks.held(cpus[0], "memlock"):
+            with locks.held(cpus[0], "ifree"):
+                pass
+        for _ in range(3):
+            with locks.held(cpus[1], "ifree"):
+                with locks.held(cpus[1], "memlock"):
+                    pass
+        assert len(violations(checks, "lockdep", "lock-order-cycle")) == 1
+
+    def test_same_family_nesting_is_self_cycle(self):
+        """Nothing orders instances within a lock array."""
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        with locks.held_lock(cpus[0], locks.ino(1)):
+            with locks.held_lock(cpus[0], locks.ino(2)):
+                pass
+        found = violations(checks, "lockdep", "lock-order-cycle")
+        assert len(found) == 1
+        assert found[0].details["new_edge"] == "ino_x -> ino_x"
+
+    def test_recursive_acquire_reported(self):
+        kernel, cpus, checks = make_checked_kernel()
+        lock = kernel.locks.lock("calock")
+        checks.lockdep.on_acquire(0, 100, lock)
+        checks.lockdep.on_acquire(0, 200, lock)
+        found = violations(checks, "lockdep", "recursive-acquire")
+        assert len(found) == 1
+        assert "calock" in found[0].message
+
+    def test_held_at_context_switch_reported(self):
+        kernel, cpus, checks = make_checked_kernel()
+        kernel.locks.acquire(cpus[0], kernel.locks.lock("memlock"))
+        checks.lockdep.on_context_switch(0, cpus[0].cycles)
+        found = violations(checks, "lockdep", "held-at-context-switch")
+        assert len(found) == 1
+        assert "memlock" in found[0].details["held"][0]
+
+    def test_held_at_interrupt_entry_reported(self):
+        kernel, cpus, checks = make_checked_kernel()
+        kernel.locks.acquire(cpus[2], kernel.locks.lock("runqlk"))
+        checks.lockdep.on_interrupt_entry(2, cpus[2].cycles, "CLOCK")
+        found = violations(checks, "lockdep", "held-at-interrupt-entry")
+        assert len(found) == 1
+        assert found[0].cpu == 2
+        assert "CLOCK" in found[0].message
+
+    def test_held_at_finish_reported(self):
+        kernel, cpus, checks = make_checked_kernel()
+        kernel.locks.acquire(cpus[0], kernel.locks.lock("semlock"))
+        checks.lockdep.finalize(12345)
+        assert len(violations(checks, "lockdep", "held-at-finish")) == 1
+
+    def test_balanced_use_leaves_no_held_state(self):
+        kernel, cpus, checks = make_checked_kernel()
+        with kernel.locks.held(cpus[0], "memlock"):
+            pass
+        checks.lockdep.finalize(99999)
+        checks.coherence.scan(99999)
+        assert checks.report_data.ok
+
+
+# ----------------------------------------------------------------------
+# Race checker
+# ----------------------------------------------------------------------
+class TestRaceChecker:
+    def test_unlocked_proc_table_write_attributed(self):
+        """The injected race: write another CPU's running process entry."""
+        kernel, cpus, checks = make_checked_kernel()
+        from repro.kernel.process import Image
+
+        image = Image("x", text_pages=2, file_ino=1)
+        process = kernel.create_process("p", image, iter(()))
+        process.state = ProcState.RUNNING
+        kernel.current[1] = process
+        cpus[0].dwrite(kernel.datamap.proc_entry(process.slot))
+        found = violations(checks, "race", "unlocked-write")
+        assert len(found) == 1
+        violation = found[0]
+        assert violation.cpu == 0
+        assert violation.details["structure"] == "Process Table"
+        assert violation.details["slot"] == process.slot
+        assert violation.details["running_on"] == "cpu1"
+        assert violation.details["held_locks"] == "(none)"
+
+    def test_proc_table_write_under_runqlk_is_clean(self):
+        kernel, cpus, checks = make_checked_kernel()
+        with kernel.locks.held(cpus[0], "runqlk"):
+            cpus[0].dwrite(kernel.datamap.proc_entry(3))
+        assert checks.report_data.ok
+
+    def test_own_entry_write_is_clean(self):
+        """A process's syscalls update its own entry locklessly (IRIX)."""
+        kernel, cpus, checks = make_checked_kernel()
+        from repro.kernel.process import Image
+
+        image = Image("x", text_pages=2, file_ino=1)
+        process = kernel.create_process("p", image, iter(()))
+        process.state = ProcState.RUNNING
+        kernel.current[0] = process
+        cpus[0].dwrite(kernel.datamap.proc_entry(process.slot))
+        assert checks.report_data.ok
+
+    def test_proc_table_read_is_lock_free(self):
+        kernel, cpus, checks = make_checked_kernel()
+        cpus[0].dread(kernel.datamap.proc_entry(5))
+        assert checks.report_data.ok
+
+    def test_run_queue_read_requires_runqlk(self):
+        kernel, cpus, checks = make_checked_kernel()
+        cpus[0].dread(kernel.datamap.runq_base)
+        found = violations(checks, "race", "unlocked-read")
+        assert len(found) == 1
+        assert found[0].details["structure"] == "Run Queue"
+        assert found[0].details["required"] == "runqlk"
+
+    def test_callout_write_requires_calock(self):
+        kernel, cpus, checks = make_checked_kernel()
+        cpus[0].dwrite(kernel.datamap.callout_entry(0))
+        found = violations(checks, "race", "unlocked-write")
+        assert len(found) == 1
+        assert found[0].details["structure"] == "Callout"
+
+    def test_either_protecting_family_suffices(self):
+        """Inode headers may be covered by ino_x or the ifree list lock."""
+        kernel, cpus, checks = make_checked_kernel()
+        with kernel.locks.held_lock(cpus[0], kernel.locks.ino(2)):
+            cpus[0].dwrite(kernel.datamap.inode_entry(2))
+        with kernel.locks.held(cpus[0], "ifree"):
+            cpus[0].dwrite(kernel.datamap.inode_entry(3))
+        assert checks.report_data.ok
+
+    def test_race_exempt_annotation_suppresses(self):
+        kernel, cpus, checks = make_checked_kernel()
+        with kernel.race_exempt(cpus[0], StructName.CALLOUT):
+            cpus[0].dwrite(kernel.datamap.callout_entry(1))
+        assert checks.report_data.ok
+        # The exemption is scoped: the same write outside it fires.
+        cpus[0].dwrite(kernel.datamap.callout_entry(1))
+        assert not checks.report_data.ok
+
+    def test_race_exempt_is_per_cpu(self):
+        kernel, cpus, checks = make_checked_kernel()
+        with kernel.race_exempt(cpus[0], StructName.CALLOUT):
+            cpus[1].dwrite(kernel.datamap.callout_entry(1))
+        assert len(violations(checks, "race")) == 1
+
+    def test_race_exempt_nests(self):
+        kernel, cpus, checks = make_checked_kernel()
+        with kernel.race_exempt(cpus[0], StructName.CALLOUT):
+            with kernel.race_exempt(cpus[0], StructName.CALLOUT):
+                pass
+            cpus[0].dwrite(kernel.datamap.callout_entry(1))
+        assert checks.report_data.ok
+
+    def test_exempt_without_checks_is_noop(self):
+        kernel, cpus = make_kernel()
+        assert kernel.checks is None
+        with kernel.race_exempt(cpus[0], StructName.CALLOUT):
+            cpus[0].dwrite(kernel.datamap.callout_entry(1))
+
+    def test_protection_map_covers_locked_structures(self):
+        """Every Table 11 lock family protects at least one structure."""
+        protected = {
+            family
+            for rule in STRUCT_PROTECTION.values()
+            for family in rule.families
+        }
+        for family in ("runqlk", "memlock", "calock", "semlock",
+                       "bfreelock", "ifree", "ino_x", "shr_x"):
+            assert family in protected
+
+
+# ----------------------------------------------------------------------
+# Coherence checker
+# ----------------------------------------------------------------------
+# An address outside the kernel-structure window, so the race checker
+# stays quiet while the coherence checker is exercised.
+_ADDR = 0x50_0000
+
+
+class TestCoherenceChecker:
+    def test_double_dirty_line_attributed(self):
+        """The injected fault: sneak a stale copy into another L2."""
+        kernel, cpus, checks = make_checked_kernel()
+        memsys = kernel.memsys
+        block = _ADDR // memsys.block_bytes
+        cpus[0].dwrite(_ADDR)
+        assert memsys._owner[block] == 0
+        memsys.hierarchies[1].dl2.access(block)  # behind the bus's back
+        found = checks.coherence.scan(end_cycles=1000)
+        assert len(found) == 1
+        violation = found[0]
+        assert violation.kind == "double-dirty"
+        assert violation.details["line"] == hex(block * memsys.block_bytes)
+        assert violation.details["owner"] == "cpu0"
+        assert violation.details["stale_copy"] == "cpu1"
+
+    def test_snoop_invalidate_is_clean(self):
+        """Normal write sharing: ownership migrates, remote tags clear."""
+        kernel, cpus, checks = make_checked_kernel()
+        memsys = kernel.memsys
+        block = _ADDR // memsys.block_bytes
+        cpus[0].dwrite(_ADDR)
+        cpus[1].dwrite(_ADDR)
+        assert memsys._owner[block] == 1
+        assert not memsys.hierarchies[0].dl2.lookup(block)
+        checks.coherence.scan(end_cycles=1000)
+        assert checks.report_data.ok
+
+    def test_read_downgrades_exclusive_line(self):
+        kernel, cpus, checks = make_checked_kernel()
+        memsys = kernel.memsys
+        block = _ADDR // memsys.block_bytes
+        cpus[0].dwrite(_ADDR)
+        cpus[1].dread(_ADDR)
+        assert block not in memsys._owner
+        checks.coherence.scan(end_cycles=1000)
+        assert checks.report_data.ok
+
+    def test_silent_write_fill_detected(self):
+        """Stale ownership (the bug class the owner-map fix removed):
+        the owner's line vanishes but the map still says it owns it, so
+        its next write fills with no bus transaction."""
+        kernel, cpus, checks = make_checked_kernel()
+        memsys = kernel.memsys
+        block = _ADDR // memsys.block_bytes
+        cpus[0].dwrite(_ADDR)
+        memsys.hierarchies[0].invalidate_data(block)  # owner map now stale
+        cpus[0].dwrite(_ADDR)
+        found = violations(checks, "coherence", "silent-write-fill")
+        assert len(found) == 1
+        assert found[0].details["line"] == hex(block * memsys.block_bytes)
+
+    def test_full_icache_flush_checked(self):
+        kernel, cpus, checks = make_checked_kernel()
+        memsys = kernel.memsys
+        cpus[0].ifetch_range(0x1_0000, 256)
+        memsys.flush_all_icaches()
+        assert checks.coherence.flushes_checked == 1
+        assert checks.report_data.ok
+        # Injected incomplete flush: a line resurrected behind the back.
+        memsys.hierarchies[1].icache.access(5)
+        checks.coherence.after_full_icache_flush()
+        found = violations(checks, "coherence", "icache-flush-incomplete")
+        assert len(found) == 1
+        assert found[0].cpu == 1
+
+    def test_write_miss_eviction_releases_ownership(self):
+        """The regression the fix addressed: a write miss that evicts an
+        owned victim must clear the victim's owner-map entry."""
+        kernel, cpus, checks = make_checked_kernel()
+        memsys = kernel.memsys
+        ways = memsys.hierarchies[0].dl2.assoc
+        sets = memsys.hierarchies[0].dl2.num_sets
+        base_block = _ADDR // memsys.block_bytes
+        # Fill one L2 set past associativity with owned lines.
+        for i in range(ways + 1):
+            cpus[0].dwrite((base_block + i * sets) * memsys.block_bytes)
+        owned = [b for b in memsys._owner if memsys._owner[b] == 0]
+        resident = [b for b in owned if memsys.hierarchies[0].dl2.lookup(b)]
+        assert owned == resident  # no owned-but-evicted ghosts
+        checks.coherence.scan(end_cycles=1000)
+        assert checks.report_data.ok
+
+
+# ----------------------------------------------------------------------
+# The sginap backoff protocol (Table 8's library spin/yield discipline)
+# ----------------------------------------------------------------------
+class TestSginapBackoff:
+    def _engine(self):
+        from tests.test_engine import make_engine
+
+        def driver(_i):
+            yield A.Compute(10**9)
+
+        return make_engine(driver)
+
+    def test_twenty_spins_then_sginap(self):
+        """Held beyond the library's patience: exactly 20 spins, one
+        sginap syscall, and the acquire action is retained for retry."""
+        kernel, cpus, engine, procs = self._engine()
+        engine.user_locks[7] = UserLock(holder_pid=999)  # never releases
+        action = A.UserLockAcquire(7)
+        before = cpus[0].cycles
+        engine._execute(cpus[0], procs[0], action, before + 10**9)
+        assert action.spins_done == LIBRARY_SPINS
+        assert engine.app_sync_spins == LIBRARY_SPINS
+        assert engine.lock_sginaps == 1
+        assert cpus[0].cycles - before >= LIBRARY_SPINS * SPIN_CYCLES
+        assert kernel.invocation_ops[HighLevelOp.SGINAP_SYSCALL] == 1
+
+    def test_short_wait_spins_out_without_sginap(self):
+        """A hold interval ending within 20 spins is spun out in place."""
+        kernel, cpus, engine, procs = self._engine()
+        release_at = cpus[0].cycles + 10 * SPIN_CYCLES
+        engine.user_locks[7] = UserLock(holder_pid=None,
+                                        release_time=release_at)
+        action = A.UserLockAcquire(7)
+        engine._execute(cpus[0], procs[0], action, cpus[0].cycles + 10**9)
+        assert engine.lock_sginaps == 0
+        assert 0 < action.spins_done <= LIBRARY_SPINS
+        assert engine.user_locks[7].holder_pid == procs[0].pid
+        assert engine.user_locks[7].contended_acquires == 1
+
+    def test_uncontended_acquire_never_spins(self):
+        kernel, cpus, engine, procs = self._engine()
+        action = A.UserLockAcquire(7)
+        engine._execute(cpus[0], procs[0], action, cpus[0].cycles + 10**9)
+        assert action.spins_done == 0
+        assert engine.app_sync_spins == 0
+        assert engine.lock_sginaps == 0
+
+    def test_backoff_repeats_per_retry(self):
+        kernel, cpus, engine, procs = self._engine()
+        engine.user_locks[7] = UserLock(holder_pid=999)
+        action = A.UserLockAcquire(7)
+        for _ in range(3):
+            engine._execute(cpus[0], procs[0], action,
+                            cpus[0].cycles + 10**9)
+        assert action.spins_done == 3 * LIBRARY_SPINS
+        assert engine.lock_sginaps == 3
+
+
+# ----------------------------------------------------------------------
+# Table 12 locality counters under checked, deterministic contention
+# ----------------------------------------------------------------------
+class TestLocalityUnderChecking:
+    def test_seeded_contention_counters_and_clean_lockdep(self):
+        """A seeded contention scenario: counters must match a reference
+        computation and lockdep must stay silent throughout."""
+        import random
+
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        rng = random.Random(1992)
+        names = ["memlock", "runqlk", "ifree", "calock"]
+        expected_local = {name: 0 for name in names}
+        last_cpu = {}
+        for _ in range(200):
+            cpu = rng.randrange(4)
+            name = rng.choice(names)
+            if last_cpu.get(name) == cpu:
+                expected_local[name] += 1
+            last_cpu[name] = cpu
+            with locks.held(cpus[cpu], name):
+                cpus[cpu].advance(rng.randrange(50, 500))
+        for name in names:
+            stats = locks.lock(name).stats
+            assert stats.same_cpu_no_intervening == expected_local[name]
+            if stats.acquires:
+                assert stats.locality_pct == pytest.approx(
+                    100.0 * expected_local[name] / stats.acquires
+                )
+        assert checks.lockdep.acquires_checked == 200
+        checks.lockdep.finalize(max(p.cycles for p in cpus))
+        assert checks.report_data.ok
+
+    def test_nested_contention_stays_ordered(self):
+        """Consistent memlock -> ifree nesting across CPUs: contended,
+        but never inverted — lockdep passes."""
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        for round_index in range(20):
+            cpu = round_index % 4
+            with locks.held(cpus[cpu], "memlock"):
+                with locks.held(cpus[cpu], "ifree"):
+                    cpus[cpu].advance(200)
+        assert locks.lock("memlock").stats.acquires == 20
+        assert checks.report_data.ok
+
+
+# ----------------------------------------------------------------------
+# Full simulated runs
+# ----------------------------------------------------------------------
+class TestCheckedRuns:
+    @pytest.mark.parametrize("workload", ["pmake", "multpgm", "oracle"])
+    def test_short_run_is_clean(self, workload):
+        run = run_traced_workload(
+            workload=workload, horizon_ms=3.0, warmup_ms=20.0, seed=5,
+            check=True,
+        )
+        report = run.check_report
+        assert report is not None
+        assert report.ok, report.to_text()
+        # The checkers actually saw traffic.
+        assert report.counters["lock_acquires"] > 0
+        assert report.counters["structure_accesses"] > 0
+        assert report.counters["bus_writes"] > 0
+
+    def test_disabled_by_default(self):
+        sim = Simulation("pmake", seed=3)
+        assert sim.checks is None
+        assert sim.kernel.checks is None
+        assert sim.kernel.locks.checks is None
+        assert sim.memsys.checker is None
+        assert all(p.access_probe is None for p in sim.processors)
+
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        sim = Simulation("pmake", seed=3)
+        assert sim.checks is not None
+
+    def test_unchecked_run_has_no_report(self):
+        run = run_traced_workload(
+            workload="pmake", horizon_ms=1.0, warmup_ms=5.0, seed=5
+        )
+        assert run.check_report is None
+
+    def test_checked_run_pickles_with_report(self):
+        run = run_traced_workload(
+            workload="pmake", horizon_ms=1.0, warmup_ms=5.0, seed=5,
+            check=True,
+        )
+        clone = pickle.loads(pickle.dumps(run))
+        report = clone.check_report
+        assert report is not None and report.ok
+        assert report.counters == run.check_report.counters
+
+    def test_summary_names_workload(self):
+        run = run_traced_workload(
+            workload="pmake", horizon_ms=1.0, warmup_ms=5.0, seed=5,
+            check=True,
+        )
+        assert "pmake" in run.check_report.summary()
+        assert "clean" in run.check_report.summary()
