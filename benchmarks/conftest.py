@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro.experiments.base import ExperimentContext, RunSettings
+from repro.api import ExperimentContext, RunSettings
 from repro.sim.runcache import RunCache
 
 # Full-quality settings (the same steady-state window the experiments

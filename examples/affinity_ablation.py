@@ -17,7 +17,7 @@ from repro.experiments.derive import migration_misses
 from repro.kernel.kernel import KernelTuning
 from repro.kernel.vm import VmTuning
 from repro.sim.config import CALIBRATIONS
-from repro.sim.session import Simulation
+from repro.api import Simulation
 
 
 def run_once(affinity: bool):

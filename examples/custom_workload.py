@@ -15,7 +15,7 @@ import itertools
 from repro.analysis.report import analyze_trace
 from repro.common.types import RefDomain
 from repro.kernel.process import Image, ProcState
-from repro.sim.session import Simulation
+from repro.api import Simulation
 from repro.workloads import actions as A
 from repro.workloads.base import Workload, preload_image
 

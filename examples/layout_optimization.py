@@ -17,7 +17,7 @@ Run:  python examples/layout_optimization.py
 from repro.analysis.report import analyze_trace
 from repro.common.types import MissClass, RefDomain
 from repro.opt import optimize_layout, routine_heat_from_analysis
-from repro.sim.session import Simulation
+from repro.api import Simulation
 
 HORIZON_MS = 30.0
 WARMUP_MS = 250.0

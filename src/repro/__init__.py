@@ -22,18 +22,17 @@ The package models the complete measured system:
   calibration.
 - :mod:`repro.experiments` — one module per paper table/figure.
 
-Quickstart::
+Quickstart (the stable entry point is :mod:`repro.api`)::
 
-    from repro.sim import run_traced_workload
-    from repro.analysis import analyze_trace
+    from repro import api
 
-    run = run_traced_workload("pmake", horizon_ms=50.0, seed=1)
-    report = analyze_trace(run)
+    run = api.run("pmake", horizon_ms=50.0, seed=1)
+    report = api.report("pmake", run=run)
     print(report.stall.os_stall_fraction)
 """
 
 from repro.common.params import MachineParams
-from repro.sim.session import Simulation, TracedRun, run_traced_workload
+from repro.sim._session import Simulation, TracedRun, run_traced_workload
 from repro.analysis.report import AnalysisReport, analyze_trace
 from repro.kernel.kernel import KernelTuning
 from repro.workloads import make_workload

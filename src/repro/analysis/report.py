@@ -14,7 +14,7 @@ from repro.common.types import MissClass, RefDomain
 from repro.analysis.decode import TraceAnalysis, TraceAnalyzer
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.session import TracedRun
+    from repro.sim._session import TracedRun
 
 # Monitor ticks are 60 ns = 2 processor cycles.
 CYCLES_PER_TICK = 2

@@ -1,0 +1,124 @@
+"""Stable public API for the reproduction.
+
+Everything a user (or an in-repo test/example/benchmark) needs lives
+behind this one module, so the internal layout — ``repro.sim._session``,
+``repro.experiments._base`` and friends — can keep moving without
+breaking callers:
+
+>>> from repro import api
+>>> run = api.run("pmake", horizon_ms=5.0, warmup_ms=30.0)
+>>> report = api.report("pmake", horizon_ms=5.0, warmup_ms=30.0)
+
+:func:`run` and :func:`report` validate their keyword arguments against
+:class:`RunSettings` plus the :class:`Simulation` constructor, so a typo
+fails loudly instead of being swallowed. For checked runs pass
+``check=True`` (or ``check="deep"`` for block-sweep attribution) and
+inspect ``run.check_report``.
+
+The old deep-import paths (``repro.sim.session``,
+``repro.experiments.base``) still work but emit ``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Optional, Union
+
+from repro.analysis.report import AnalysisReport, analyze_trace
+from repro.common.params import MachineParams
+from repro.experiments._base import Exhibit, ExperimentContext, RunSettings
+from repro.kernel.kernel import KernelTuning
+from repro.sanitizers import CheckReport, CheckRegistry
+from repro.sim._session import Simulation, TracedRun, run_traced_workload
+from repro.sim.runcache import RunCache
+from repro.workloads import Workload, make_workload
+
+__all__ = [
+    "AnalysisReport",
+    "CheckReport",
+    "CheckRegistry",
+    "Exhibit",
+    "ExperimentContext",
+    "KernelTuning",
+    "MachineParams",
+    "RunCache",
+    "RunSettings",
+    "Simulation",
+    "TracedRun",
+    "Workload",
+    "analyze_trace",
+    "make_workload",
+    "report",
+    "run",
+    "run_traced_workload",
+]
+
+# Keywords run()/report() accept: the RunSettings fields (horizon_ms,
+# warmup_ms, seed, check) plus the Simulation constructor's keyword
+# parameters (params, tuning, layout, ...). Computed once at import.
+_SETTINGS_FIELDS = frozenset(RunSettings.__dataclass_fields__)
+_SIM_KWARGS = frozenset(
+    name
+    for name, p in inspect.signature(Simulation.__init__).parameters.items()
+    if name not in ("self", "workload", "seed")
+    and p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+)
+_VALID_KWARGS = _SETTINGS_FIELDS | _SIM_KWARGS
+
+
+def _validate(settings: dict) -> None:
+    unknown = sorted(set(settings) - _VALID_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"unknown setting(s) {', '.join(map(repr, unknown))}; "
+            f"valid names: {', '.join(sorted(_VALID_KWARGS))}"
+        )
+
+
+def run(
+    workload: Union[str, Workload],
+    *,
+    check: Union[bool, str] = False,
+    **settings,
+) -> TracedRun:
+    """Build a machine, run ``workload`` under the monitor, return the run.
+
+    Accepts the :class:`RunSettings` fields (``horizon_ms``,
+    ``warmup_ms``, ``seed``) and the :class:`Simulation` keyword
+    arguments (``params``, ``tuning``, ``layout``, ...); anything else
+    raises :class:`TypeError` listing the valid names. With
+    ``check=True`` the sanitizers run and ``run.check_report`` carries
+    their verdict; ``check="deep"`` additionally attributes
+    ``dread_block``/``dwrite_block`` sweeps to kernel structures.
+    """
+    _validate(settings)
+    defaults = RunSettings()
+    horizon = settings.pop("horizon_ms", defaults.horizon_ms)
+    warmup = settings.pop("warmup_ms", defaults.warmup_ms)
+    seed = settings.pop("seed", defaults.seed)
+    if check:
+        settings["check"] = check
+    return run_traced_workload(
+        workload, horizon_ms=horizon, warmup_ms=warmup, seed=seed, **settings
+    )
+
+
+def report(
+    workload: Union[str, Workload],
+    *,
+    run: Optional[TracedRun] = None,
+    **settings,
+) -> AnalysisReport:
+    """Run ``workload`` (or analyze ``run``) and return its analysis.
+
+    Same keyword validation as :func:`run`; pass an existing
+    :class:`TracedRun` as ``run=`` to analyze it without re-simulating.
+    """
+    if run is None:
+        _validate(settings)
+        check = settings.pop("check", False)
+        run = _run(workload, check=check, **settings)
+    return analyze_trace(run)
+
+
+_run = run  # `report` shadows the name with its keyword argument

@@ -63,6 +63,11 @@ class Processor:
         # the kernel uses for structure touches. None when checking is
         # off; the block-granularity user paths are never probed.
         self.access_probe = None
+        # Deep-mode hook: called with (cpu_id, block, write) on the
+        # block-granularity sweep paths (dread_block/dwrite_block), so
+        # bcopy/PCB/kernel-stack sweeps can be attributed to structures.
+        # None unless checking runs with check="deep".
+        self.block_probe = None
 
     # ------------------------------------------------------------------
     # Mode transitions
@@ -147,12 +152,16 @@ class Processor:
         )
 
     def dread_block(self, block: int) -> None:
+        if self.block_probe is not None:
+            self.block_probe(self.cpu_id, block, False)
         self.advance(DTOUCH_ISSUE_CYCLES)
         self._stall(
             self.memsys.dread(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
         )
 
     def dwrite_block(self, block: int) -> None:
+        if self.block_probe is not None:
+            self.block_probe(self.cpu_id, block, True)
         self.advance(DTOUCH_ISSUE_CYCLES)
         self._stall(
             self.memsys.dwrite(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)

@@ -1,7 +1,7 @@
 """One module per paper exhibit (table/figure), plus a registry and CLI.
 
 Each experiment builds its exhibit from fresh (or context-cached)
-simulations and returns an :class:`~repro.experiments.base.Exhibit`
+simulations and returns an :class:`~repro.experiments._base.Exhibit`
 holding measured rows next to the paper's reported values.
 
 Run them all::
@@ -13,7 +13,7 @@ or a single one::
     python -m repro.experiments run table1
 """
 
-from repro.experiments.base import Exhibit, ExperimentContext, RunSettings
+from repro.experiments._base import Exhibit, ExperimentContext, RunSettings
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
 
 __all__ = [

@@ -9,12 +9,12 @@ workload — with and without it.
 from __future__ import annotations
 
 from repro.analysis.report import analyze_trace
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.experiments.derive import migration_misses
 from repro.kernel.kernel import KernelTuning
 from repro.kernel.vm import VmTuning
 from repro.sim.config import CALIBRATIONS
-from repro.sim.session import Simulation
+from repro.sim._session import Simulation
 
 EXHIBIT_ID = "ablation-affinity"
 TITLE = "Cache-affinity scheduling vs the IRIX default (Multpgm)"
@@ -22,18 +22,23 @@ TITLE = "Cache-affinity scheduling vs the IRIX default (Multpgm)"
 _COLUMNS = ("metric", "default", "affinity", "change%")
 
 
-def _run(settings, affinity: bool):
+def _run(ctx: ExperimentContext, affinity: bool):
+    settings = ctx.settings
     calibration = CALIBRATIONS["multpgm"]
     tuning = KernelTuning(
         quantum_ms=calibration.quantum_ms,
         affinity_scheduling=affinity,
         vm=VmTuning(baseline_frames=calibration.baseline_frames),
     )
-    sim = Simulation("multpgm", seed=settings.seed, tuning=tuning)
-    run = sim.run(settings.horizon_ms, warmup_ms=settings.warmup_ms)
+    sim = Simulation(
+        "multpgm", seed=settings.seed, tuning=tuning, check=settings.check
+    )
+    run = ctx.note_private_run(
+        sim.run(settings.horizon_ms, warmup_ms=settings.warmup_ms)
+    )
     report = analyze_trace(run, keep_imiss_stream=False)
     sched = sim.kernel.scheduler
-    return {
+    return run, {
         "context switches": sched.context_switches,
         "migrations": sched.migrations,
         "migration D-misses": migration_misses(report.analysis)["total"],
@@ -44,8 +49,9 @@ def _run(settings, affinity: bool):
 
 def build(ctx: ExperimentContext) -> Exhibit:
     exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
-    default = _run(ctx.settings, affinity=False)
-    affinity = _run(ctx.settings, affinity=True)
+    default_run, default = _run(ctx, affinity=False)
+    affinity_run, affinity = _run(ctx, affinity=True)
+    exhibit.add_check_coverage(default_run, affinity_run)
     for metric in default:
         a, b = default[metric], affinity[metric]
         change = 100.0 * (b - a) / a if a else 0.0

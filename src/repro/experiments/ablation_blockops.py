@@ -10,12 +10,12 @@ each and compares the OS data-miss picture.
 from __future__ import annotations
 
 from repro.analysis.report import analyze_trace
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.experiments.derive import blockop_miss_total, os_misses
 from repro.kernel.kernel import KernelTuning
 from repro.kernel.vm import VmTuning
 from repro.sim.config import CALIBRATIONS
-from repro.sim.session import Simulation
+from repro.sim._session import Simulation
 
 EXHIBIT_ID = "ablation-blockops"
 TITLE = "Block operations: default vs cache bypass vs prefetch (Pmake)"
@@ -46,7 +46,8 @@ def _actual_stall_pct(processors) -> float:
     return 100.0 * stall / non_idle if non_idle else 0.0
 
 
-def _run_mode(settings, cache_bypass: bool, prefetch: bool):
+def _run_mode(ctx: ExperimentContext, cache_bypass: bool, prefetch: bool):
+    settings = ctx.settings
     calibration = CALIBRATIONS["pmake"]
     tuning = KernelTuning(
         quantum_ms=calibration.quantum_ms,
@@ -54,8 +55,12 @@ def _run_mode(settings, cache_bypass: bool, prefetch: bool):
         blockop_prefetch=prefetch,
         vm=VmTuning(baseline_frames=calibration.baseline_frames),
     )
-    sim = Simulation("pmake", seed=settings.seed, tuning=tuning)
-    run = sim.run(settings.horizon_ms, warmup_ms=settings.warmup_ms)
+    sim = Simulation(
+        "pmake", seed=settings.seed, tuning=tuning, check=settings.check
+    )
+    run = ctx.note_private_run(
+        sim.run(settings.horizon_ms, warmup_ms=settings.warmup_ms)
+    )
     return run, analyze_trace(run, keep_imiss_stream=False)
 
 
@@ -71,7 +76,8 @@ def build(ctx: ExperimentContext) -> Exhibit:
             run = ctx.run("pmake")
             report = ctx.report("pmake")
         else:
-            run, report = _run_mode(ctx.settings, **overrides)
+            run, report = _run_mode(ctx, **overrides)
+        exhibit.add_check_coverage(run)
         analysis = report.analysis
         exhibit.add_row(
             label,

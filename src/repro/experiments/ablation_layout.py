@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from repro.analysis.report import analyze_trace
 from repro.common.types import MissClass, RefDomain
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.opt import optimize_layout, routine_heat_from_analysis
-from repro.sim.session import Simulation
+from repro.sim._session import Simulation
 
 EXHIBIT_ID = "ablation-layout"
 TITLE = "Profile-driven kernel code layout vs the default image"
@@ -38,8 +38,13 @@ def build(ctx: ExperimentContext) -> Exhibit:
     heat = routine_heat_from_analysis(base_report.analysis)
     plan = optimize_layout(base_run.kernel.layout, heat)
 
-    sim = Simulation("pmake", seed=settings.seed, layout=plan.build())
-    opt_run = sim.run(settings.horizon_ms, warmup_ms=settings.warmup_ms)
+    sim = Simulation(
+        "pmake", seed=settings.seed, layout=plan.build(),
+        check=settings.check,
+    )
+    opt_run = ctx.note_private_run(
+        sim.run(settings.horizon_ms, warmup_ms=settings.warmup_ms)
+    )
     opt_report = analyze_trace(opt_run, keep_imiss_stream=False)
 
     rows = (
@@ -55,6 +60,7 @@ def build(ctx: ExperimentContext) -> Exhibit:
         change = 100.0 * (after - before) / before if before else 0.0
         exhibit.add_row(metric, round(before, 1), round(after, 1),
                         round(change, 1))
+    exhibit.add_check_coverage(base_run, opt_run)
     exhibit.note(plan.summary())
     exhibit.note(
         "the paper's Figure 5 spikes are exactly what the repacking removes"

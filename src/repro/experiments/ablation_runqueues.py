@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from repro.analysis.lockstats import failed_acquires_per_ms
 from repro.common.params import MachineParams
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.kernel.kernel import KernelTuning
 from repro.kernel.vm import VmTuning
 from repro.sim.config import CALIBRATIONS
-from repro.sim.session import Simulation
+from repro.sim._session import Simulation
 
 EXHIBIT_ID = "ablation-runqueues"
 TITLE = "Global vs distributed run queues on 8 CPUs (Multpgm)"
@@ -26,7 +26,8 @@ NUM_CPUS = 8
 NUM_CLUSTERS = 4
 
 
-def _run(settings, num_queues: int):
+def _run(ctx: ExperimentContext, num_queues: int):
+    settings = ctx.settings
     calibration = CALIBRATIONS["multpgm"]
     tuning = KernelTuning(
         quantum_ms=calibration.quantum_ms,
@@ -35,14 +36,16 @@ def _run(settings, num_queues: int):
     )
     sim = Simulation(
         "multpgm", params=MachineParams(num_cpus=NUM_CPUS),
-        seed=settings.seed, tuning=tuning,
+        seed=settings.seed, tuning=tuning, check=settings.check,
     )
-    sim.run(settings.horizon_ms, warmup_ms=settings.warmup_ms)
+    run = ctx.note_private_run(
+        sim.run(settings.horizon_ms, warmup_ms=settings.warmup_ms)
+    )
     wall_ms = settings.warmup_ms + settings.horizon_ms
     rates = failed_acquires_per_ms(sim.kernel, wall_ms)
     runqlk = sim.kernel.locks.family_stats()["runqlk"]
     sched = sim.kernel.scheduler
-    return {
+    return run, {
         "runqlk failed acquires/ms": round(rates.get("runqlk", 0.0), 3),
         "runqlk failed %": round(runqlk.failed_pct, 2),
         "migrations": sched.migrations,
@@ -53,8 +56,9 @@ def _run(settings, num_queues: int):
 
 def build(ctx: ExperimentContext) -> Exhibit:
     exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
-    global_queue = _run(ctx.settings, num_queues=1)
-    clustered = _run(ctx.settings, num_queues=NUM_CLUSTERS)
+    global_run, global_queue = _run(ctx, num_queues=1)
+    clustered_run, clustered = _run(ctx, num_queues=NUM_CLUSTERS)
+    exhibit.add_check_coverage(global_run, clustered_run)
     for metric in global_queue:
         a, b = global_queue[metric], clustered[metric]
         change = 100.0 * (b - a) / a if a else 0.0

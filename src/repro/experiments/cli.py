@@ -8,14 +8,15 @@ cold run against a warm-cache or parallel run byte for byte.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
 from repro.experiments import parallel
-from repro.experiments.base import ExperimentContext, RunSettings
+from repro.experiments._base import ExperimentContext, RunSettings
 from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.sanitizers import check_enabled_by_env
+from repro.sanitizers import check_enabled_by_env, deep_check_enabled_by_env
 from repro.sim.runcache import RunCache
 
 # argparse defaults come from the dataclass so the CLI cannot drift
@@ -56,8 +57,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_cmd.add_argument(
         "--check", action="store_true",
         help="run with the repro.sanitizers invariant checkers (lockdep, "
-             "races, coherence) and fail on any violation "
+             "races, coherence, LL/SC) and fail on any violation "
              "(also: REPRO_CHECK=1)",
+    )
+    run_cmd.add_argument(
+        "--check-deep", action="store_true",
+        help="--check plus per-block attribution of dread_block/"
+             "dwrite_block sweeps (also: REPRO_CHECK=deep)",
+    )
+    run_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="exhibit output format on stdout (default: text)",
     )
     sub.add_parser("list", help="list exhibit ids")
     args = parser.parse_args(argv)
@@ -67,7 +77,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(exhibit_id)
         return 0
 
-    check = args.check or check_enabled_by_env()
+    if args.check_deep or deep_check_enabled_by_env():
+        check = "deep"
+    else:
+        check = args.check or check_enabled_by_env()
     if check and args.jobs > 1:
         # Reports live on the simulations in this process; worker
         # processes would strand them. Checked runs are serial.
@@ -90,16 +103,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         built = ((e, run_experiment(e, ctx)) for e in targets)
     else:
         built = parallel.run_exhibits(ctx, targets, jobs=args.jobs)
-    for exhibit_id, exhibit in built:
-        print(exhibit.to_text())
-        if args.charts:
-            from repro.experiments.registry import render_chart
+    if args.format == "json":
+        # One JSON array for the whole invocation; --charts is a
+        # text-rendering concern and does not apply here.
+        payload = [exhibit.to_dict() for _, exhibit in built]
+        print(json.dumps(payload, indent=2))
+    else:
+        for exhibit_id, exhibit in built:
+            print(exhibit.to_text())
+            if args.charts:
+                from repro.experiments.registry import render_chart
 
-            figure = render_chart(exhibit_id, ctx)
-            if figure:
-                print()
-                print(figure)
-        print()
+                figure = render_chart(exhibit_id, ctx)
+                if figure:
+                    print()
+                    print(figure)
+            print()
     print(f"[{time.time() - start:.1f}s, jobs={args.jobs}]", file=sys.stderr)
     print(cache.stats_line(), file=sys.stderr)
     if check:
@@ -115,11 +134,7 @@ def _report_checks(ctx: ExperimentContext) -> int:
     printed only when something fired. Exit code 2 on any violation.
     """
     reports = []
-    seen = set()
-    for run in ctx._runs.values():
-        if id(run) in seen:
-            continue  # the same run can sit under several context keys
-        seen.add(id(run))
+    for run in ctx.all_runs():
         report = run.check_report
         if report is not None:
             reports.append(report)

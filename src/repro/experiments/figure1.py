@@ -7,7 +7,7 @@ invocations, mean misses per OS invocation, and the UTLB fault costs.
 from __future__ import annotations
 
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.experiments.derive import invocation_interval_ms, mean_invocation_misses
 
 EXHIBIT_ID = "figure1"

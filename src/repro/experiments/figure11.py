@@ -11,7 +11,7 @@ from typing import Dict, List
 
 from repro.analysis.lockstats import failed_acquires_per_ms
 from repro.common.params import MachineParams
-from repro.experiments.base import Exhibit, ExperimentContext, RunSettings
+from repro.experiments._base import Exhibit, ExperimentContext, RunSettings
 
 EXHIBIT_ID = "figure11"
 TITLE = "Failed lock acquires per ms vs number of CPUs (Multpgm)"
@@ -31,7 +31,7 @@ def contention_series(
     warmup_ms: float = _SETTINGS.warmup_ms,
 ) -> Dict[str, List[float]]:
     """failed acquires/ms per lock family, one value per CPU count."""
-    from repro.sim.session import Simulation
+    from repro.sim._session import Simulation
 
     series: Dict[str, List[float]] = {lock: [] for lock in _LOCKS_SHOWN}
     for ncpus in cpu_counts:

@@ -4,7 +4,7 @@
 from __future__ import annotations
 
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 
 EXHIBIT_ID = "figure2"
 TITLE = "Frequency of OS operations in Multpgm (no UTLB faults)"

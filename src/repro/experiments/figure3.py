@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 
 EXHIBIT_ID = "figure3"
 TITLE = "Distribution of misses/cycles per OS invocation (Pmake)"

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from repro.common.types import MissClass, RefDomain
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.experiments.derive import imiss_class_shares_pct
 
 EXHIBIT_ID = "figure4"

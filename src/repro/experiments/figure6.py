@@ -11,7 +11,7 @@ from typing import Dict, List
 
 from repro.analysis.sweeps import SweepPoint, simulate_icache_sweep
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 
 EXHIBIT_ID = "figure6"
 TITLE = "OS I-miss rate vs I-cache size/associativity (relative to 64KB DM)"

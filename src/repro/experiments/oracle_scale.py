@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from repro.analysis.report import analyze_trace
 from repro.common.types import MissClass, RefDomain
-from repro.experiments.base import Exhibit, ExperimentContext
-from repro.sim.session import Simulation
+from repro.experiments._base import Exhibit, ExperimentContext
+from repro.sim._session import Simulation
 from repro.workloads.oracle import OracleWorkload
 
 EXHIBIT_ID = "oracle-scale"

@@ -30,7 +30,7 @@ import multiprocessing
 import os
 from typing import List, Optional, Sequence, Tuple
 
-from repro.experiments.base import ExperimentContext, RunSettings
+from repro.experiments._base import ExperimentContext, RunSettings
 from repro.sim.runcache import RunCache, load_or_run
 
 BASE_WORKLOADS = ("pmake", "multpgm", "oracle")

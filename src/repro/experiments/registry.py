@@ -12,7 +12,7 @@ from repro.experiments import (
     table1, table2, table3, table4, table5, table6, table7, table8,
     table9, table10, table11, table12,
 )
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 
 # The paper's exhibits.
 PAPER_EXPERIMENTS: Dict[str, object] = {

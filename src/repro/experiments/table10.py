@@ -5,7 +5,7 @@ from __future__ import annotations
 
 from repro.analysis.lockstats import sync_stall_summary
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 
 EXHIBIT_ID = "table10"
 TITLE = "OS synchronization stall: sync bus vs atomic RMW + caches"

@@ -4,7 +4,7 @@ checked against the modelled kernel's lock table."""
 from __future__ import annotations
 
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.kernel.locks import LOCK_FUNCTIONS
 
 EXHIBIT_ID = "table11"
@@ -17,8 +17,9 @@ def build(ctx: ExperimentContext) -> Exhibit:
     exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
     acquires = {family: 0 for family in LOCK_FUNCTIONS}
     for workload in paperdata.WORKLOADS:
-        kernel = ctx.run(workload).kernel
-        for family, stats in kernel.locks.family_stats().items():
+        run = ctx.run(workload)
+        exhibit.add_check_coverage(run)
+        for family, stats in run.kernel.locks.family_stats().items():
             acquires[family] = acquires.get(family, 0) + stats.acquires
     for family, function in LOCK_FUNCTIONS.items():
         exhibit.add_row(family, function, acquires.get(family, 0))

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 from repro.analysis.lockstats import lock_table_rows
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 
 EXHIBIT_ID = "table12"
 TITLE = "Lock characteristics in Pmake"
@@ -21,6 +21,7 @@ _SINGLETONS = ("memlock", "runqlk", "ifree", "dfbmaplk", "bfreelock", "calock")
 def build(ctx: ExperimentContext) -> Exhibit:
     exhibit = Exhibit(EXHIBIT_ID, TITLE, _COLUMNS)
     run = ctx.run("pmake")
+    exhibit.add_check_coverage(run)
     total_cycles = max(proc.cycles for proc in run.processors)
     rows = {
         row.name: row

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.common.types import MissClass, RefDomain
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 
 EXHIBIT_ID = "table2"
 TITLE = "Classification of OS cache misses (Table 2 taxonomy)"

@@ -6,7 +6,7 @@ reported size.
 
 from __future__ import annotations
 
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.kernel import structures as S
 
 EXHIBIT_ID = "table3"

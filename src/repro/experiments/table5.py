@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.experiments.derive import migration_misses
 
 EXHIBIT_ID = "table5"

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.experiments.derive import blockop_miss_total, blockop_shares_pct
 
 EXHIBIT_ID = "table6"

@@ -6,7 +6,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 
 EXHIBIT_ID = "table7"
 TITLE = "Sizes of blocks copied or cleared (Pmake)"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.common.types import HighLevelOp
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 
 EXHIBIT_ID = "table8"
 TITLE = "High-level OS operations (Table 8 vocabulary)"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.common.types import RefDomain
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.experiments.derive import (
     blockop_miss_total,
     migration_misses,

@@ -11,7 +11,7 @@ application-invocation distributions the report also carries.
 from __future__ import annotations
 
 from repro.experiments import paperdata
-from repro.experiments.base import Exhibit, ExperimentContext
+from repro.experiments._base import Exhibit, ExperimentContext
 from repro.experiments.figure3 import _percentiles
 
 EXHIBIT_ID = "tr-distributions"

@@ -159,6 +159,10 @@ class BlockOps:
                     memsys.truth.record_invalidation(hierarchy.cpu, "D", block)
             # Memory now holds the data and no cache does: no owner.
             memsys._owner.pop(block, None)
+        if self.k.checks is not None:
+            self.k.checks.coherence.after_bypass_invalidate(
+                proc.cpu_id, proc.cycles, first_block, nblocks
+            )
 
     # ------------------------------------------------------------------
     def pfdat_traverse(self, proc, start_entry: int, num_entries: int) -> None:

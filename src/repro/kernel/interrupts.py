@@ -43,6 +43,8 @@ class Interrupts:
         self.k.instr.intr_enter(proc, _INTR_CODE[kind])
 
     def _exit(self, proc) -> None:
+        if self.k.checks is not None:
+            self.k.checks.lockdep.on_interrupt_exit(proc.cpu_id, proc.cycles)
         self.k.instr.intr_exit(proc)
 
     # ------------------------------------------------------------------

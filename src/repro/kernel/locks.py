@@ -213,12 +213,16 @@ class LockTable:
             wait = lock.release_cycles - proc.cycles
             spins = min(MAX_COUNTED_SPINS, wait // SPIN_ITERATION_CYCLES + 1)
             stats.spin_iterations += spins
+            if self.checks is not None:
+                self.checks.llsc.on_spin(lock, cpu, spins, proc.cycles)
             self.llsc.on_spin(lock.family, cpu, spins)
             # Spinning occupies the CPU until the recorded release.
             proc.advance_to(lock.release_cycles)
         # The acquire itself: uncached read + write (no atomic RMW).
         proc.charge_stall(self.syncbus.read(cpu))
         proc.charge_stall(self.syncbus.write(cpu))
+        if self.checks is not None:
+            self.checks.llsc.on_acquire(lock, cpu, proc.cycles)
         self.llsc.on_acquire(lock.family, cpu)
         stats.acquires += 1
         if stats.first_acquire_cycles is None:
@@ -244,6 +248,8 @@ class LockTable:
         stats.releases += 1
         stats.hold_cycles_sum += proc.cycles - lock.acquire_cycles
         proc.charge_stall(self.syncbus.write(proc.cpu_id))
+        if self.checks is not None:
+            self.checks.llsc.on_release(lock, proc.cpu_id, proc.cycles)
         self.llsc.on_release(lock.family, proc.cpu_id)
         lock.holder_cpu = None
         lock.release_cycles = proc.cycles

@@ -85,6 +85,10 @@ class Scheduler:
             proc.dwrite(k.datamap.runq_base)
             proc.dwrite(k.datamap.proc_entry(process.slot))
             process.state = ProcState.RUNNABLE
+            if k.checks is not None:
+                k.checks.races.on_queue_op(
+                    proc.cpu_id, proc.cycles, queue_index, "enqueue"
+                )
             self.queues[queue_index].append(process)
 
     def pick_next(self, proc) -> Optional[Process]:
@@ -131,6 +135,10 @@ class Scheduler:
                     ):
                         index = i
                         break
+            if k.checks is not None:
+                k.checks.races.on_queue_op(
+                    proc.cpu_id, proc.cycles, queue_index, "dequeue"
+                )
             chosen = queue.pop(index)
             proc.ifetch_range(*k.routine_span("runq_remrq"))
             proc.dwrite(k.datamap.proc_entry(chosen.slot))

@@ -25,7 +25,11 @@ Enable with ``Simulation(..., check=True)``, ``--check`` on the
 experiments CLI, or ``REPRO_CHECK=1`` in the environment.
 """
 
-from repro.sanitizers.registry import CheckRegistry, check_enabled_by_env
+from repro.sanitizers.registry import (
+    CheckRegistry,
+    check_enabled_by_env,
+    deep_check_enabled_by_env,
+)
 from repro.sanitizers.report import CheckReport, Violation
 
 __all__ = [
@@ -33,4 +37,5 @@ __all__ = [
     "CheckReport",
     "Violation",
     "check_enabled_by_env",
+    "deep_check_enabled_by_env",
 ]

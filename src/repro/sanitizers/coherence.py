@@ -118,6 +118,40 @@ class CoherenceChecker:
                 {"line": hex(block * memsys.block_bytes)},
             ))
 
+    def after_bypass_invalidate(
+        self, cpu: int, time_cycles: int, first_block: int, num_blocks: int
+    ) -> None:
+        """A cache-bypassing block write leaves memory as the only copy.
+
+        The blockop-bypass variant (``blockop_cache_bypass``) updates
+        memory around the caches, so after its invalidation sweep no
+        data cache may still hold any destination line and the owner map
+        must be empty for the range — a line that survives here is the
+        stale-copy bug the PR-2 fix in ``_invalidate_stale`` addressed.
+        """
+        self.flushes_checked += 1
+        memsys = self.memsys
+        for block in range(first_block, first_block + num_blocks):
+            owner = memsys._owner.get(block)
+            if owner is not None:
+                self.registry.record(Violation(
+                    "coherence", "bypass-stale-owner", cpu, time_cycles,
+                    f"line {hex(block * memsys.block_bytes)} still owned "
+                    f"by cpu{owner} after a cache-bypassing block write",
+                    {"line": hex(block * memsys.block_bytes),
+                     "owner": f"cpu{owner}"},
+                ))
+            for hierarchy in memsys.hierarchies:
+                if hierarchy.dl2.lookup(block):
+                    self.registry.record(Violation(
+                        "coherence", "bypass-stale-copy", cpu, time_cycles,
+                        f"line {hex(block * memsys.block_bytes)} survived "
+                        "the bypass-invalidate sweep in "
+                        f"cpu{hierarchy.cpu}'s data cache",
+                        {"line": hex(block * memsys.block_bytes),
+                         "stale_copy": f"cpu{hierarchy.cpu}"},
+                    ))
+
     def after_icache_flush(self, first_block: int, num_blocks: int) -> None:
         """An explicit flush must leave no line of the range resident."""
         self.flushes_checked += 1

@@ -14,9 +14,15 @@ nothing orders instances within a family.
 Also enforced here, because the held-lock stacks live here:
 
 - no spinlock may still be held when the CPU context-switches;
-- no spinlock may be held at interrupt entry (the modelled handlers
-  take ``calock``/``runqlk``/``streams_x`` themselves, so a held lock at
-  entry is a self-deadlock waiting for the right interrupt timing);
+- the **irq dimension** (Linux lockdep's irq-safe/irq-unsafe classes):
+  each family is tracked by the context — interrupt or process — it is
+  acquired from. Only the declared irq-safe families
+  (:data:`IRQ_SAFE_FAMILIES`: the locks the modelled handlers take with
+  interrupt-level protection) may be acquired in interrupt context, and
+  a lock of an irq-used family held at interrupt entry is a
+  self-deadlock waiting for the right interrupt timing (the handler
+  spins on the CPU that holds the lock). Locks no handler ever takes
+  may be held across an interrupt freely;
 - nothing may be held when the run finishes.
 """
 
@@ -31,6 +37,14 @@ from repro.sanitizers.report import Violation
 
 # Frames from these files are lock-plumbing, not acquisition sites.
 _SKIP_BASENAMES = {"locks.py", "lockdep.py", "registry.py", "contextlib.py"}
+
+#: Families the interrupt handlers take (``calock`` from the clock tick,
+#: ``runqlk`` from wakeups/setrq, ``streams_x`` from terminal input).
+#: These follow the irq-safe discipline — the modelled kernel raises
+#: interrupt level around them — so acquiring them in interrupt context
+#: is legal; any *other* family acquired with an interrupt on the stack
+#: is irq-unsafe and gets flagged.
+IRQ_SAFE_FAMILIES = frozenset({"calock", "runqlk", "streams_x"})
 
 
 def acquisition_site() -> str:
@@ -84,6 +98,13 @@ class LockDep:
         self.edges: Dict[str, Dict[str, LockOrderEdge]] = {}
         self.acquires_checked = 0
         self._reported_pairs: set = set()
+        # The irq dimension: per-CPU interrupt nesting depth and, per
+        # family, the first acquisition site seen in each context.
+        self.irq_depth: List[int] = [0] * num_cpus
+        self.family_irq_site: Dict[str, str] = {}
+        self.family_proc_site: Dict[str, str] = {}
+        self._irq_unsafe_reported: set = set()
+        self.interrupt_entries = 0
 
     # ------------------------------------------------------------------
     # Acquire / release hooks (called by LockTable when installed)
@@ -102,7 +123,33 @@ class LockDep:
                 break
         for entry in stack:
             self._add_edge(entry, lock, cpu, cycles, site)
+        self._note_context(cpu, cycles, lock, site)
         stack.append(HeldLock(lock.name, lock.family, site, cycles))
+
+    def _note_context(self, cpu: int, cycles: int, lock, site: str) -> None:
+        """Track the irq/process context a family is acquired from."""
+        if self.irq_depth[cpu] > 0:
+            self.family_irq_site.setdefault(lock.family, site)
+            if (
+                lock.family not in IRQ_SAFE_FAMILIES
+                and lock.family not in self._irq_unsafe_reported
+            ):
+                self._irq_unsafe_reported.add(lock.family)
+                self.registry.record(Violation(
+                    "lockdep", "irq-unsafe-acquire-in-irq", cpu, cycles,
+                    f"{lock.name} ({lock.family}) acquired in interrupt "
+                    "context but is not an irq-safe family",
+                    {
+                        "family": lock.family,
+                        "irq_site": site,
+                        "process_site": self.family_proc_site.get(
+                            lock.family, "(never in process context)"
+                        ),
+                        "irq_safe_families": sorted(IRQ_SAFE_FAMILIES),
+                    },
+                ))
+        else:
+            self.family_proc_site.setdefault(lock.family, site)
 
     def on_release(self, cpu: int, cycles: int, lock) -> None:
         stack = self.held[cpu]
@@ -190,13 +237,28 @@ class LockDep:
             ))
 
     def on_interrupt_entry(self, cpu: int, cycles: int, kind: str) -> None:
-        stack = self.held[cpu]
-        if stack:
+        self.interrupt_entries += 1
+        self.irq_depth[cpu] += 1
+        # Only locks a handler may itself take are a deadlock hazard
+        # here; families no handler touches may be held across an
+        # interrupt (this replaces the old blanket nothing-held assert).
+        hazards = [
+            entry for entry in self.held[cpu]
+            if entry.family in IRQ_SAFE_FAMILIES
+            or entry.family in self.family_irq_site
+        ]
+        if hazards:
             self.registry.record(Violation(
                 "lockdep", "held-at-interrupt-entry", cpu, cycles,
-                f"{kind} interrupt entered with spinlock(s) held",
-                {"held": [str(entry) for entry in stack]},
+                f"{kind} interrupt entered with irq-used spinlock(s) "
+                "held (the handler can spin on them forever)",
+                {"held": [str(entry) for entry in hazards],
+                 "interrupt": kind},
             ))
+
+    def on_interrupt_exit(self, cpu: int, cycles: int) -> None:
+        if self.irq_depth[cpu] > 0:
+            self.irq_depth[cpu] -= 1
 
     def finalize(self, end_cycles: int) -> None:
         for cpu, stack in enumerate(self.held):

@@ -115,10 +115,16 @@ class RaceChecker:
         # else (frames, kernel text) is filtered out with two compares.
         self._lo = KDATA_BASE
         self._hi = KHEAP_BASE + KHEAP_SIZE
+        self._block_bytes = 16   # rebound from the machine at install
         self._allowed: List[Dict[StructName, int]] = [
             {} for _ in range(num_cpus)
         ]
         self.accesses_checked = 0
+        self.queue_ops_checked = 0
+        # Deep mode (check="deep"): dread_block/dwrite_block sweeps
+        # attributed to the structure they cross, per structure name.
+        self.blocks_checked = 0
+        self.block_sweeps: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Annotation API
@@ -152,6 +158,56 @@ class RaceChecker:
             self._report(cpu, addr, write, name, rule, slot=slot, runner=runner)
             return
         self._report(cpu, addr, write, name, rule)
+
+    # ------------------------------------------------------------------
+    # Run-queue membership (distributed-run-queue variant)
+    # ------------------------------------------------------------------
+    def on_queue_op(self, cpu: int, cycles: int, queue_index: int,
+                    op: str) -> None:
+        """A scheduler queue mutation must hold *that queue's* lock.
+
+        The address-level rule cannot tell the distributed queues apart
+        (they share ``runq_base``), so the scheduler reports mutations
+        at the object level: enqueue/dequeue on queue ``i`` is only
+        legal under the ``runqlk_i`` instance (or the single global
+        ``runqlk``) — holding a *different* cluster's run-queue lock is
+        exactly the bug the per-cluster split can introduce.
+        """
+        self.queue_ops_checked += 1
+        expected = self.kernel.locks.runq(queue_index).name
+        held = self.lockdep.held_names(cpu)
+        if expected in held:
+            return
+        self.registry.record(Violation(
+            "race", "runq-wrong-lock", cpu, cycles, (
+                f"{op} on run queue {queue_index} from cpu{cpu} without "
+                f"{expected} held"
+            ),
+            {
+                "structure": StructName.RUN_QUEUE.value,
+                "queue": queue_index,
+                "required": expected,
+                "held_locks": held or "(none)",
+            },
+        ))
+
+    # ------------------------------------------------------------------
+    # Deep mode: block-sweep attribution (Processor.block_probe)
+    # ------------------------------------------------------------------
+    def on_block(self, cpu: int, block: int, write: bool) -> None:
+        """Attribute one block-granularity touch to its structure.
+
+        Attribution only — block sweeps (bcopy/bclear, PCB save/restore,
+        kernel-stack touches) run under disciplines the word-level probe
+        already checks at their base address; the deep probe exists so a
+        checked run can document *which* structures the sweeps crossed.
+        """
+        addr = block * self._block_bytes
+        if addr < self._lo or addr >= self._hi:
+            return
+        name = self.datamap.structure_at(addr)
+        self.blocks_checked += 1
+        self.block_sweeps[name.value] = self.block_sweeps.get(name.value, 0) + 1
 
     # ------------------------------------------------------------------
     def _slot_of(self, name: StructName, addr: int) -> int:

@@ -11,7 +11,7 @@ word-granularity kernel structure touches — never the block-granularity
 user reference stream).
 
 Everything the registry holds is plain data or bound methods, so a
-checked :class:`~repro.sim.session.TracedRun` still pickles into the
+checked :class:`~repro.sim._session.TracedRun` still pickles into the
 persistent run cache — a reloaded checked run keeps its
 :class:`~repro.sanitizers.report.CheckReport`.
 """
@@ -21,6 +21,7 @@ from __future__ import annotations
 import os
 
 from repro.sanitizers.coherence import CoherenceChecker
+from repro.sanitizers.llsc import LLSCChecker
 from repro.sanitizers.lockdep import LockDep
 from repro.sanitizers.races import RaceChecker
 from repro.sanitizers.report import CheckReport, Violation
@@ -39,15 +40,28 @@ def check_enabled_by_env() -> bool:
     return value not in ("", "0", "false", "no")
 
 
+def deep_check_enabled_by_env() -> bool:
+    """``REPRO_CHECK=deep``: also attribute block sweeps to structures."""
+    return os.environ.get(_ENV_CHECK, "") == "deep"
+
+
 class CheckRegistry:
     """Owns the three checkers and their shared violation sink."""
 
-    def __init__(self, num_cpus: int, datamap, workload: str = ""):
+    def __init__(self, num_cpus: int, datamap, workload: str = "",
+                 deep: bool = False):
         self.report_data = CheckReport(workload=workload)
         self.lockdep = LockDep(self, num_cpus)
         self.races = RaceChecker(self, datamap, num_cpus)
         self.coherence = CoherenceChecker(self)
-        self._per_checker_counts = {"lockdep": 0, "race": 0, "coherence": 0}
+        self.llsc = LLSCChecker(self)
+        # Deep mode: also attribute dread_block/dwrite_block sweeps to
+        # kernel structures (attribution-only; off by default because it
+        # probes the block-granularity path).
+        self.deep = deep
+        self._per_checker_counts = {
+            "lockdep": 0, "race": 0, "coherence": 0, "llsc": 0,
+        }
         self.finalized = False
 
     # ------------------------------------------------------------------
@@ -72,8 +86,14 @@ class CheckRegistry:
         self.races.lockdep = self.lockdep
         for proc in processors:
             proc.access_probe = self.races.on_access
+            if self.deep:
+                proc.block_probe = self.races.on_block
+        self.races._block_bytes = memsys.block_bytes
         self.coherence.memsys = memsys
         memsys.checker = self.coherence
+        self.llsc.sim = kernel.llsc
+        self.llsc.locks = kernel.locks
+        self.llsc.syncbus = kernel.syncbus
         return self
 
     def finalize(self, end_cycles: int) -> CheckReport:
@@ -82,6 +102,7 @@ class CheckRegistry:
             self.finalized = True
             self.lockdep.finalize(end_cycles)
             self.coherence.scan(end_cycles)
+            self.llsc.finalize(end_cycles)
         return self.report()
 
     # ------------------------------------------------------------------
@@ -90,9 +111,16 @@ class CheckRegistry:
     def report(self) -> CheckReport:
         self.report_data.counters = {
             "lock_acquires": self.lockdep.acquires_checked,
+            "interrupt_entries": self.lockdep.interrupt_entries,
             "structure_accesses": self.races.accesses_checked,
             "bus_writes": self.coherence.writes_checked,
             "bus_reads": self.coherence.reads_checked,
             "icache_flushes": self.coherence.flushes_checked,
+            "llsc_pairs": self.llsc.pairs_validated,
+            "llsc_events": self.llsc.events_checked,
         }
+        if self.deep:
+            self.report_data.counters["block_sweeps"] = (
+                self.races.blocks_checked
+            )
         return self.report_data

@@ -1,6 +1,6 @@
 """Simulation sessions: machine + kernel + workload + monitor."""
 
-from repro.sim.session import Simulation, TracedRun, run_traced_workload
+from repro.sim._session import Simulation, TracedRun, run_traced_workload
 from repro.sim.config import CALIBRATIONS, WorkloadCalibration
 
 __all__ = [

@@ -5,9 +5,9 @@ seconds; the analysis pass costs seconds more. Every one of the paper's
 exhibits is derived from the same three traced runs, yet each pytest
 session, benchmark session and ``repro-experiments`` invocation used to
 re-simulate them from scratch. This module keeps finished
-:class:`~repro.sim.session.TracedRun` objects (plus their
+:class:`~repro.sim._session.TracedRun` objects (plus their
 :class:`~repro.analysis.report.AnalysisReport` and derived
-:class:`~repro.experiments.base.Exhibit` tables) on disk so warm
+:class:`~repro.experiments._base.Exhibit` tables) on disk so warm
 invocations only pay deserialization.
 
 Keying is *content addressed*: an entry's filename is a SHA-256 over the
@@ -250,7 +250,7 @@ def load_or_run(
     upgraded in place.
     """
     from repro.sanitizers import check_enabled_by_env
-    from repro.sim.session import Simulation
+    from repro.sim._session import Simulation
 
     sim_kwargs = dict(sim_kwargs or {})
     # Checked and unchecked runs must never cross-reuse: a run simulated

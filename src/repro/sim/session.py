@@ -1,344 +1,26 @@
-"""Top-level simulation session.
+"""Deprecated import path — use :mod:`repro.api`.
 
-Builds the full machine (memory system, CPUs, kernel, monitor, master
-tracer), installs a workload, and runs the event loop: CPUs execute in
-interleaved slices ordered by their local clocks; clock interrupts, disk
-completions, terminal input and the master tracer's buffer checks are
-delivered at slice boundaries.
-
-:func:`run_traced_workload` is the one-call experiment entry point; it
-returns a :class:`TracedRun` bundling the recorded trace with the
-machine handles the analysis pipeline needs.
+The session implementation lives in :mod:`repro.sim._session`; this
+module re-exports it so old deep imports keep working, but new code
+should import :class:`Simulation`/:class:`TracedRun`/
+:func:`run_traced_workload` from :mod:`repro.api`.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
-from typing import List, Optional, Union
+import warnings
 
-from repro.common.params import MachineParams
-from repro.common.rng import substream
-from repro.common.types import HighLevelOp, Mode
-from repro.cpu.processor import Processor
-from repro.kernel.interrupts import DEVICE_CPU, NETWORK_CPU
-from repro.kernel.kernel import Kernel, KernelTuning
-from repro.kernel.vm import VmTuning
-from repro.memsys.system import MemorySystem
-from repro.monitor.escapes import Instrumentation
-from repro.monitor.hwmonitor import HardwareMonitor, Trace
-from repro.monitor.master import MasterConfig, MasterTracer
-from repro.sanitizers import CheckRegistry, CheckReport, check_enabled_by_env
-from repro.sim.config import CALIBRATIONS
-from repro.sim.usermode import UserEngine
-from repro.workloads import Workload, make_workload
+from repro.sim._session import (  # noqa: F401
+    Simulation,
+    TracedRun,
+    run_traced_workload,
+)
 
+warnings.warn(
+    "repro.sim.session is deprecated; import Simulation, TracedRun and "
+    "run_traced_workload from repro.api instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-@dataclass
-class TracedRun:
-    """Everything a finished traced run hands to the analysis pipeline.
-
-    A finished run is picklable (workload driver generators are dropped
-    by :meth:`repro.kernel.process.Process.__getstate__`), which is what
-    lets :mod:`repro.sim.runcache` persist runs across sessions and the
-    parallel experiment runner ship them between processes. A restored
-    run supports the whole analysis surface but must not be resumed —
-    its processes' drivers are gone.
-    """
-
-    workload_name: str
-    params: MachineParams
-    trace: Trace
-    simulation: "Simulation"
-    # Statistics window start: the trace before this point only feeds the
-    # cache-content reconstruction (warmup), mirroring the paper's
-    # tracing of a long-running system.
-    measure_from_cycles: int = 0
-
-    @property
-    def kernel(self) -> Kernel:
-        return self.simulation.kernel
-
-    @property
-    def processors(self) -> List[Processor]:
-        return self.simulation.processors
-
-    @property
-    def memsys(self) -> MemorySystem:
-        return self.simulation.memsys
-
-    @property
-    def check_report(self) -> Optional[CheckReport]:
-        """The sanitizer report, if the run was simulated with checks.
-
-        Survives the run cache: the registry pickles with the
-        simulation, so a reloaded checked run still carries its report.
-        """
-        checks = self.simulation.checks
-        if checks is None:
-            return None
-        return checks.finalize(max(p.cycles for p in self.processors))
-
-
-class Simulation:
-    """One machine + workload instance."""
-
-    def __init__(
-        self,
-        workload: Union[str, Workload],
-        params: Optional[MachineParams] = None,
-        seed: int = 0,
-        trace: bool = True,
-        record_truth_events: bool = False,
-        tuning: Optional[KernelTuning] = None,
-        master_config: Optional[MasterConfig] = None,
-        monitor_strict: bool = False,
-        layout=None,
-        check: bool = False,
-    ):
-        self.params = params if params is not None else MachineParams()
-        self.seed = seed
-        if isinstance(workload, str):
-            workload = make_workload(workload)
-        self.workload = workload
-
-        calibration = CALIBRATIONS.get(workload.name)
-        if calibration is not None:
-            cfg = workload.engine_config
-            cfg.touches_per_kcycle = calibration.touches_per_kcycle
-            cfg.hot_text_fraction = calibration.hot_text_fraction
-            cfg.hot_data_fraction = calibration.hot_data_fraction
-        if tuning is None:
-            vm = VmTuning()
-            if calibration is not None:
-                vm.baseline_frames = calibration.baseline_frames
-            tuning = KernelTuning(
-                quantum_ms=calibration.quantum_ms if calibration else 30.0,
-                vm=vm,
-            )
-
-        self.memsys = MemorySystem(self.params, record_events=record_truth_events)
-        self.processors = [
-            Processor(i, self.params, self.memsys) for i in range(self.params.num_cpus)
-        ]
-        self.instr = Instrumentation(enabled=trace)
-        self.monitor = HardwareMonitor(
-            self.memsys.bus,
-            capacity=self.params.trace_buffer_entries,
-            cycle_ns=self.params.cycle_ns,
-            tick_ns=self.params.monitor_tick_ns,
-            strict_capacity=monitor_strict,
-        )
-        self.master = MasterTracer(
-            self.monitor,
-            self.params.cycles_per_ms(),
-            master_config if master_config is not None else MasterConfig(),
-        )
-        self.kernel = Kernel(
-            self.params, self.memsys, self.processors, self.instr, tuning, seed,
-            layout=layout,
-        )
-        # Invariant checking (repro.sanitizers): explicit opt-in or
-        # REPRO_CHECK=1. When off, self.checks stays None and every hook
-        # in the kernel/memsys stays a dormant None-attribute.
-        self.checks: Optional[CheckRegistry] = None
-        if check or check_enabled_by_env():
-            self.checks = CheckRegistry(
-                self.params.num_cpus, self.kernel.datamap, workload.name
-            ).install(self.kernel, self.processors, self.memsys)
-        self.engine = UserEngine(
-            self.kernel, workload.engine_config, substream(seed, "engine")
-        )
-        workload.setup(self.kernel, substream(seed, "workload"))
-
-        clock_period = self.params.ms_to_cycles(self.params.clock_interrupt_ms)
-        ncpus = self.params.num_cpus
-        # Stagger the per-CPU clocks so ticks do not all collide.
-        self._next_clock = [
-            clock_period + clock_period * i // ncpus for i in range(ncpus)
-        ]
-        self._clock_period = clock_period
-        self._slice_cycles = self.params.ms_to_cycles(workload.engine_config.slice_ms)
-        self._idle_step = max(
-            1, self.params.ms_to_cycles(workload.engine_config.idle_step_ms)
-        )
-        self._idle_flag = [False] * ncpus
-        self._tty_queue: List = []
-        self._tty_head = 0
-        self.horizon_cycles = 0
-
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
-    def run(self, horizon_ms: float, warmup_ms: float = 120.0) -> TracedRun:
-        """Run the workload and trace ``horizon_ms`` of simulated time.
-
-        ``warmup_ms`` runs the workload *before* the monitor starts
-        recording: the paper traced an already-running system, not a cold
-        boot (binaries resident, buffer cache warm, scheduler in steady
-        state).
-        """
-        warmup = self.params.ms_to_cycles(warmup_ms)
-        horizon = warmup + self.params.ms_to_cycles(horizon_ms)
-        self.horizon_cycles = horizon
-
-        rng = substream(self.seed, "tty")
-        self._tty_queue = sorted(self.workload.tty_events(horizon, rng))
-        self._tty_head = 0
-
-        # Record from t=0 so the analysis can reconstruct cache contents
-        # across the whole run, but report statistics only for the
-        # post-warmup window (equivalent to the paper's continuous
-        # tracing of an already-running system).
-        self._begin_tracing(0)
-
-        heap = [(proc.cycles, i, i) for i, proc in enumerate(self.processors)]
-        heapq.heapify(heap)
-        seq = len(heap)
-        while heap:
-            _, _, cpu = heapq.heappop(heap)
-            proc = self.processors[cpu]
-            if proc.cycles >= horizon:
-                continue  # this CPU is done; drain the rest
-            self._step(cpu)
-            seq += 1
-            heapq.heappush(heap, (proc.cycles, seq, cpu))
-        end = max(proc.cycles for proc in self.processors)
-        self.master.finish(end)
-        if self.checks is not None:
-            self.checks.finalize(end)
-        return TracedRun(
-            self.workload.name, self.params, self.monitor.trace, self,
-            measure_from_cycles=warmup,
-        )
-
-    def _begin_tracing(self, now_cycles: int) -> None:
-        """Trace-start protocol: dump machine state, then record.
-
-        The real system call "dumps the contents of the TLBs and some
-        process state onto the trace buffer when tracing starts"
-        (Section 2.2) so the postprocessor can translate addresses from
-        the first entry on.
-        """
-        self.master.start(now_cycles)
-        for proc in self.processors:
-            self.instr.trace_start(proc)
-            self.instr.pid_set(proc, proc.current_pid)
-            for entry in proc.tlb.entries():
-                self.instr.tlb_update(
-                    proc, 0, entry.vpage, entry.frame, entry.pid, entry.is_text
-                )
-
-    # ------------------------------------------------------------------
-    # One slice on one CPU
-    # ------------------------------------------------------------------
-    def _step(self, cpu: int) -> None:
-        proc = self.processors[cpu]
-        kernel = self.kernel
-
-        if cpu == 0 and self.master.due(proc.cycles):
-            self._service_master(proc)
-        if cpu == DEVICE_CPU:
-            self._deliver_device_events(proc)
-
-        # Clock ticks due on this CPU.
-        while self._next_clock[cpu] <= proc.cycles:
-            self._next_clock[cpu] += self._clock_period
-            self._leave_idle(proc)
-            with kernel.os_invocation(proc, HighLevelOp.INTERRUPT):
-                expired = kernel.interrupts.clock(proc)
-                if expired:
-                    kernel.scheduler.preempt_current(proc)
-            self._enter_idle_if_none(proc)
-
-        process = kernel.current[cpu]
-        if process is None:
-            self._idle_slice(proc)
-            return
-        self._leave_idle(proc)
-        self.engine.run_slice(proc, process, self._slice_cycles)
-        self._enter_idle_if_none(proc)
-
-    def _idle_slice(self, proc: Processor) -> None:
-        kernel = self.kernel
-        if kernel.scheduler.runnable_waiting():
-            # A wakeup IPI pulls the CPU out of the idle loop to dispatch.
-            self._leave_idle(proc)
-            with kernel.os_invocation(proc, HighLevelOp.INTERRUPT, save_frame=False):
-                kernel.interrupts.inter_cpu(proc)
-                kernel.scheduler.dispatch(proc)
-            self._enter_idle_if_none(proc)
-            return
-        if not self._idle_flag[proc.cpu_id]:
-            self._idle_flag[proc.cpu_id] = True
-            proc.set_mode(Mode.IDLE)
-            self.instr.idle_enter(proc)
-        # The idle loop: a tiny resident code loop polling the run queue.
-        base, _size = kernel.routine_span("idle_loop")
-        proc.ifetch_block(base // self.params.block_bytes)
-        proc.advance(self._idle_step)
-
-    def _leave_idle(self, proc: Processor) -> None:
-        if self._idle_flag[proc.cpu_id]:
-            self._idle_flag[proc.cpu_id] = False
-            self.instr.idle_exit(proc)
-
-    def _enter_idle_if_none(self, proc: Processor) -> None:
-        if self.kernel.current[proc.cpu_id] is None:
-            proc.set_mode(Mode.IDLE)
-
-    # ------------------------------------------------------------------
-    # Devices
-    # ------------------------------------------------------------------
-    def _deliver_device_events(self, proc: Processor) -> None:
-        kernel = self.kernel
-        disk_due = kernel.fs.disk.next_time()
-        if disk_due is not None and disk_due <= proc.cycles:
-            self._leave_idle(proc)
-            kernel.service_disk(proc)
-            self._enter_idle_if_none(proc)
-        while (
-            self._tty_head < len(self._tty_queue)
-            and self._tty_queue[self._tty_head][0] <= proc.cycles
-        ):
-            _, session_id, nchars = self._tty_queue[self._tty_head]
-            self._tty_head += 1
-            self._leave_idle(proc)
-            with kernel.os_invocation(proc, HighLevelOp.INTERRUPT):
-                kernel.interrupts.terminal(proc, session_id, nchars)
-            self._enter_idle_if_none(proc)
-
-    # ------------------------------------------------------------------
-    # The master tracer (Section 2.1's suspend/dump/resume loop)
-    # ------------------------------------------------------------------
-    def _service_master(self, proc: Processor) -> None:
-        suspend_cycles = self.master.service(proc.cycles)
-        if suspend_cycles <= 0:
-            return
-        # Workload suspended: every CPU idles while the buffer is dumped
-        # to the remote disk.
-        resume_at = max(p.cycles for p in self.processors) + suspend_cycles
-        for p in self.processors:
-            mode = p.mode
-            p.set_mode(Mode.IDLE)
-            p.advance_to(resume_at)
-            p.set_mode(mode)
-        # The transfer wakes the network daemons on CPU 1 (Section 2.1).
-        net_proc = self.processors[NETWORK_CPU % self.params.num_cpus]
-        with self.kernel.os_invocation(
-            net_proc, HighLevelOp.INTERRUPT, save_frame=False
-        ):
-            self.kernel.interrupts.network(net_proc)
-
-
-def run_traced_workload(
-    workload: Union[str, Workload],
-    horizon_ms: float = 50.0,
-    seed: int = 0,
-    params: Optional[MachineParams] = None,
-    warmup_ms: float = 120.0,
-    **kwargs,
-) -> TracedRun:
-    """Build a machine, run a workload under the monitor, return the run."""
-    sim = Simulation(workload, params=params, seed=seed, **kwargs)
-    return sim.run(horizon_ms, warmup_ms=warmup_ms)
+__all__ = ["Simulation", "TracedRun", "run_traced_workload"]

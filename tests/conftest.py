@@ -16,7 +16,7 @@ import pytest
 from repro.common.params import MachineParams
 from repro.memsys.system import MemorySystem
 from repro.sim.runcache import RunCache, load_or_run
-from repro.sim.session import TracedRun
+from repro.api import TracedRun
 
 _CACHE = RunCache()
 

@@ -1,0 +1,191 @@
+"""repro.api: the stable facade, keyword validation, deprecation shims
+and the structured exhibit output that rides on them."""
+
+import json
+import warnings
+
+import pytest
+
+from repro import api
+from repro.api import Exhibit, ExperimentContext, RunSettings
+
+_SHORT = dict(horizon_ms=1.0, warmup_ms=5.0, seed=5)
+
+
+class TestFacadeSurface:
+    def test_all_names_importable(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_run_returns_traced_run(self):
+        run = api.run("pmake", **_SHORT)
+        assert isinstance(run, api.TracedRun)
+        assert run.check_report is None
+
+    def test_run_checked(self):
+        run = api.run("pmake", check=True, **_SHORT)
+        assert run.check_report is not None
+        assert run.check_report.ok, run.check_report.to_text()
+
+    def test_report_from_existing_run(self):
+        run = api.run("pmake", **_SHORT)
+        report = api.report("pmake", run=run)
+        assert isinstance(report, api.AnalysisReport)
+
+    def test_report_simulates_when_no_run_given(self):
+        report = api.report("pmake", **_SHORT)
+        assert report.os_stall_pct >= 0.0
+
+    def test_sim_kwargs_pass_through(self):
+        from repro.kernel.kernel import KernelTuning
+
+        run = api.run("pmake", tuning=KernelTuning(quantum_ms=30.0), **_SHORT)
+        assert run.kernel.tuning.quantum_ms == 30.0
+
+
+class TestKeywordValidation:
+    def test_unknown_kwarg_rejected_with_names(self):
+        with pytest.raises(TypeError) as excinfo:
+            api.run("pmake", horizon=5.0)
+        message = str(excinfo.value)
+        assert "'horizon'" in message
+        assert "horizon_ms" in message  # the valid names are listed
+
+    def test_report_validates_too(self):
+        with pytest.raises(TypeError, match="sede"):
+            api.report("pmake", sede=3)
+
+    def test_valid_settings_accepted(self):
+        # Every RunSettings field spelled correctly goes through.
+        run = api.run("pmake", horizon_ms=1.0, warmup_ms=5.0, seed=9)
+        assert run is not None
+
+
+class TestStrictContextOverrides:
+    def test_unknown_override_rejected(self):
+        ctx = ExperimentContext(RunSettings(**_SHORT))
+        with pytest.raises(TypeError) as excinfo:
+            ctx.run("pmake", horizont_ms=2.0)
+        message = str(excinfo.value)
+        assert "'horizont_ms'" in message
+        assert "horizon_ms" in message
+
+    def test_report_override_rejected(self):
+        ctx = ExperimentContext(RunSettings(**_SHORT))
+        with pytest.raises(TypeError):
+            ctx.report("pmake", sneed=1)
+
+    def test_valid_overrides_still_work(self):
+        ctx = ExperimentContext(RunSettings(**_SHORT))
+        run = ctx.run("pmake", seed=11)
+        assert run is ctx.run("pmake", seed=11)  # memoized per override set
+
+    def test_checked_override(self):
+        ctx = ExperimentContext(RunSettings(**_SHORT))
+        run = ctx.run("pmake", check=True)
+        assert run.check_report is not None
+        assert ctx.all_runs() == [run]
+
+
+class TestDeprecationShims:
+    def test_sim_session_warns_and_aliases(self):
+        import importlib
+
+        import repro.sim.session
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(repro.sim.session)
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "repro.api" in str(w.message)
+            for w in caught
+        )
+        # Class identity is preserved: isinstance checks keep working.
+        assert repro.sim.session.Simulation is api.Simulation
+        assert repro.sim.session.TracedRun is api.TracedRun
+        assert repro.sim.session.run_traced_workload is api.run_traced_workload
+
+    def test_experiments_base_warns_and_aliases(self):
+        import importlib
+
+        import repro.experiments.base
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(repro.experiments.base)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert repro.experiments.base.Exhibit is api.Exhibit
+        assert repro.experiments.base.ExperimentContext is ExperimentContext
+        assert repro.experiments.base.RunSettings is RunSettings
+
+    def test_shimmed_run_matches_facade_run(self):
+        """The deprecated path yields identical results, not just types."""
+        from repro.sim.session import run_traced_workload as old_path
+
+        old = old_path(workload="pmake", **_SHORT)
+        new = api.run("pmake", **_SHORT)
+        assert old.workload_name == new.workload_name
+        assert (
+            max(p.cycles for p in old.processors)
+            == max(p.cycles for p in new.processors)
+        )
+
+
+class TestExhibitJson:
+    def _exhibit(self):
+        exhibit = Exhibit("table0", "A title", ("a", "b"))
+        exhibit.add_row("x", 1.5)
+        exhibit.add_row("y", 2)
+        exhibit.note("a note")
+        return exhibit
+
+    def test_round_trip(self):
+        exhibit = self._exhibit()
+        clone = Exhibit.from_dict(json.loads(exhibit.to_json()))
+        assert clone.to_text() == exhibit.to_text()
+        assert clone.to_dict() == exhibit.to_dict()
+
+    def test_coverage_round_trips(self):
+        exhibit = self._exhibit()
+        exhibit.check_coverage.append("sanitizers [pmake]: clean (...)")
+        clone = Exhibit.from_dict(exhibit.to_dict())
+        assert clone.check_coverage == exhibit.check_coverage
+        assert "check: sanitizers" in clone.to_text()
+
+    def test_unchecked_dict_has_no_coverage_key(self):
+        assert "check_coverage" not in self._exhibit().to_dict()
+
+    def test_add_check_coverage_skips_unchecked_runs(self):
+        exhibit = self._exhibit()
+        run = api.run("pmake", **_SHORT)
+        exhibit.add_check_coverage(run)
+        assert exhibit.check_coverage == []
+
+    def test_add_check_coverage_records_checked_runs(self):
+        exhibit = self._exhibit()
+        run = api.run("pmake", check=True, **_SHORT)
+        exhibit.add_check_coverage(run)
+        assert len(exhibit.check_coverage) == 1
+        assert "clean" in exhibit.check_coverage[0]
+
+
+class TestCliJsonFormat:
+    def test_json_output_parses_and_matches_text(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        argv_common = [
+            "run", "table11", "--horizon-ms", "1", "--warmup-ms", "5",
+            "--seed", "5", "--jobs", "1", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv_common) == 0
+        text_out = capsys.readouterr().out
+        assert main(argv_common + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        exhibit = Exhibit.from_dict(payload[0])
+        assert exhibit.exhibit_id == "table11"
+        # The JSON carries exactly what the text rendering shows.
+        assert exhibit.to_text() in text_out

@@ -66,7 +66,7 @@ class TestChartHooks:
             assert callable(getattr(module, "chart"))
 
     def test_render_chart_none_for_tables(self):
-        from repro.experiments.base import ExperimentContext
+        from repro.api import ExperimentContext
         from repro.experiments.registry import render_chart
 
         assert render_chart("table3", ExperimentContext()) is None

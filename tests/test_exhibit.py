@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis.decode import TraceAnalysis
 from repro.common.types import MissClass, RefDomain
-from repro.experiments.base import Exhibit
+from repro.api import Exhibit
 from repro.experiments.derive import (
     blockop_shares_pct,
     dmiss_class_shares_pct,

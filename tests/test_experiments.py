@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.base import Exhibit, ExperimentContext, RunSettings
+from repro.api import Exhibit, ExperimentContext, RunSettings
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
 
 # One shared tiny context: every exhibit runs off the same three short

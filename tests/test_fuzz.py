@@ -10,7 +10,7 @@ import itertools
 from hypothesis import given, settings, strategies as st
 
 from repro.kernel.process import Image, ProcState
-from repro.sim.session import Simulation
+from repro.api import Simulation
 from repro.workloads import actions as A
 from repro.workloads.base import Workload, preload_image
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import parallel
-from repro.experiments.base import ExperimentContext, RunSettings
+from repro.api import ExperimentContext, RunSettings
 from repro.experiments.registry import run_experiment
 from repro.sim.runcache import RunCache
 

@@ -14,7 +14,7 @@ from repro.sim.runcache import (
     load_or_run,
     source_digest,
 )
-from repro.sim.session import TracedRun
+from repro.api import TracedRun
 
 # Tiny windows: these tests exercise cache plumbing, not the simulator.
 HORIZON, WARMUP, SEED = 2.0, 5.0, 11

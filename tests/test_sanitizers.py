@@ -17,7 +17,7 @@ from repro.kernel.process import ProcState
 from repro.kernel.structures import StructName
 from repro.sanitizers import CheckRegistry
 from repro.sanitizers.races import STRUCT_PROTECTION
-from repro.sim.session import Simulation, run_traced_workload
+from repro.api import Simulation, run_traced_workload
 from repro.sim.usermode import LIBRARY_SPINS, SPIN_CYCLES, UserLock
 from repro.workloads import actions as A
 from tests.test_kernel_core import make_kernel
@@ -345,6 +345,294 @@ class TestCoherenceChecker:
         assert owned == resident  # no owned-but-evicted ghosts
         checks.coherence.scan(end_cycles=1000)
         assert checks.report_data.ok
+
+
+# ----------------------------------------------------------------------
+# LL/SC checker (the cached-lock what-if shadow model)
+# ----------------------------------------------------------------------
+class TestLLSCChecker:
+    def test_clean_protocol_validates_every_pair(self):
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        for cpu in (0, 1, 0, 2):
+            with locks.held(cpus[cpu], "runqlk"):
+                cpus[cpu].advance(100)
+        assert checks.llsc.pairs_validated == 4
+        checks.llsc.finalize(max(p.cycles for p in cpus))
+        assert checks.report_data.ok
+
+    def test_sc_after_invalidation_attributed(self):
+        """The injected fault: resurrect cpu0's lock-line copy after a
+        remote store invalidated it, then let cpu0's SC succeed on it."""
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        with locks.held(cpus[0], "memlock"):
+            pass
+        with locks.held(cpus[1], "memlock"):
+            pass  # cpu1's store invalidated cpu0's copy in both models
+        kernel.llsc._valid_copy["memlock"][0] = True  # behind the model's back
+        # Move past cpu1's release so the next event is the uncontended
+        # acquire itself (an LL/SC pair, not a spin read).
+        cpus[0].advance_to(cpus[1].cycles + 1000)
+        with locks.held(cpus[0], "memlock"):
+            pass
+        found = violations(checks, "llsc", "sc-after-invalidation")
+        assert len(found) == 1
+        violation = found[0]
+        assert violation.cpu == 0
+        assert violation.details["lock"] == "memlock"
+        assert violation.details["copy_owner"] == "cpu0"
+        assert violation.details["simulator_valid"] is True
+        assert violation.details["model_valid"] is False
+        assert "SC on memlock" in violation.message
+
+    def test_reservation_not_cleared_attributed(self):
+        """A remote copy the snoop should have killed survives a store."""
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        with locks.held(cpus[1], "memlock"):
+            pass
+        with locks.held(cpus[0], "memlock"):
+            pass  # invalidates cpu1's copy
+        kernel.llsc._valid_copy["memlock"][1] = True  # stale survivor
+        cpus[0].advance_to(max(p.cycles for p in cpus) + 1000)
+        with locks.held(cpus[0], "memlock"):
+            pass
+        found = violations(checks, "llsc", "reservation-not-cleared")
+        assert len(found) == 1
+        assert found[0].details["copy_owner"] == "cpu1"
+
+    def test_spurious_invalidation_attributed(self):
+        """The inverse corruption: a copy vanishes with no remote store."""
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        with locks.held(cpus[0], "memlock"):
+            pass
+        kernel.llsc._valid_copy["memlock"][0] = False
+        cpus[1].advance_to(cpus[0].cycles + 1000)
+        with locks.held(cpus[1], "memlock"):
+            pass
+        found = violations(checks, "llsc", "spurious-invalidation")
+        assert len(found) == 1
+        assert found[0].details["copy_owner"] == "cpu0"
+
+    def test_resync_reports_corruption_once(self):
+        """After one report the model resyncs; later clean events pass."""
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        with locks.held(cpus[0], "memlock"):
+            pass
+        with locks.held(cpus[1], "memlock"):
+            pass
+        kernel.llsc._valid_copy["memlock"][0] = True
+        for cpu in (0, 1, 0, 1):
+            cpus[cpu].advance_to(max(p.cycles for p in cpus) + 1000)
+            with locks.held(cpus[cpu], "memlock"):
+                pass
+        assert len(violations(checks, "llsc")) == 1
+
+    def test_uncached_traffic_reconciles(self):
+        """uncached accesses == 2*acquires + releases + spins, per family."""
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        for cpu in (0, 1, 2, 0):
+            with locks.held(cpus[cpu], "calock"):
+                cpus[cpu].advance(50)
+        checks.llsc.finalize(max(p.cycles for p in cpus))
+        assert checks.report_data.ok
+        # Now corrupt the simulator's count: the reconciliation fires.
+        kernel.llsc.per_lock["calock"].uncached_accesses += 1
+        checks.llsc.finalize(99999)
+        found = violations(checks, "llsc", "traffic-mismatch")
+        assert len(found) == 1
+        assert found[0].details["family"] == "calock"
+
+    def test_cached_miss_divergence_reported(self):
+        kernel, cpus, checks = make_checked_kernel()
+        with kernel.locks.held(cpus[0], "memlock"):
+            pass
+        kernel.llsc.per_lock["memlock"].cached_misses += 2
+        checks.llsc.finalize(1000)
+        found = violations(checks, "llsc", "cached-miss-divergence")
+        assert len(found) == 1
+        assert found[0].details["simulator_misses"] == (
+            found[0].details["model_misses"] + 2
+        )
+
+    def test_syncbus_counters_reconcile(self):
+        kernel, cpus, checks = make_checked_kernel()
+        with kernel.locks.held(cpus[0], "runqlk"):
+            pass
+        kernel.syncbus.stats.reads += 1
+        checks.llsc.finalize(1000)
+        found = violations(checks, "llsc", "syncbus-mismatch")
+        assert len(found) == 1
+        assert "reads" in found[0].message
+
+
+# ----------------------------------------------------------------------
+# The irq dimension of lockdep
+# ----------------------------------------------------------------------
+class TestIrqLockdep:
+    def test_irq_unsafe_acquire_in_irq_attributed(self):
+        """The injected fault: a handler takes memlock (no handler does)."""
+        kernel, cpus, checks = make_checked_kernel()
+        locks = kernel.locks
+        with locks.held(cpus[0], "memlock"):
+            pass  # record the process-context site first
+        checks.lockdep.on_interrupt_entry(1, 500, "DISK")
+        with locks.held(cpus[1], "memlock"):
+            pass
+        checks.lockdep.on_interrupt_exit(1, 600)
+        found = violations(checks, "lockdep", "irq-unsafe-acquire-in-irq")
+        assert len(found) == 1
+        violation = found[0]
+        assert violation.cpu == 1
+        assert violation.details["family"] == "memlock"
+        assert "test_sanitizers.py" in violation.details["irq_site"]
+        assert "test_sanitizers.py" in violation.details["process_site"]
+        assert "runqlk" in violation.details["irq_safe_families"]
+
+    def test_irq_safe_families_in_irq_are_clean(self):
+        """The real handlers' locks: calock + runqlk under the clock."""
+        kernel, cpus, checks = make_checked_kernel()
+        checks.lockdep.on_interrupt_entry(0, 100, "CLOCK")
+        with kernel.locks.held(cpus[0], "calock"):
+            with kernel.locks.held(cpus[0], "runqlk"):
+                pass
+        checks.lockdep.on_interrupt_exit(0, 200)
+        assert checks.report_data.ok
+
+    def test_irq_unsafe_family_reported_once(self):
+        kernel, cpus, checks = make_checked_kernel()
+        checks.lockdep.on_interrupt_entry(0, 100, "DISK")
+        for _ in range(3):
+            with kernel.locks.held(cpus[0], "memlock"):
+                pass
+        checks.lockdep.on_interrupt_exit(0, 400)
+        assert len(violations(checks, "lockdep",
+                              "irq-unsafe-acquire-in-irq")) == 1
+
+    def test_non_irq_family_held_across_interrupt_is_clean(self):
+        """No handler takes memlock, so holding it at entry cannot
+        self-deadlock — the old blanket nothing-held assert over-fired."""
+        kernel, cpus, checks = make_checked_kernel()
+        kernel.locks.acquire(cpus[0], kernel.locks.lock("memlock"))
+        checks.lockdep.on_interrupt_entry(0, cpus[0].cycles, "CLOCK")
+        assert not violations(checks, "lockdep", "held-at-interrupt-entry")
+
+    def test_irq_used_family_held_at_entry_still_fires(self):
+        """runqlk is taken by handlers: holding it at entry is the
+        classic interrupt self-deadlock."""
+        kernel, cpus, checks = make_checked_kernel()
+        kernel.locks.acquire(cpus[2], kernel.locks.lock("runqlk"))
+        checks.lockdep.on_interrupt_entry(2, cpus[2].cycles, "CLOCK")
+        found = violations(checks, "lockdep", "held-at-interrupt-entry")
+        assert len(found) == 1
+        assert found[0].cpu == 2
+
+    def test_interrupt_exit_restores_process_context(self):
+        kernel, cpus, checks = make_checked_kernel()
+        checks.lockdep.on_interrupt_entry(0, 100, "CLOCK")
+        checks.lockdep.on_interrupt_exit(0, 200)
+        with kernel.locks.held(cpus[0], "memlock"):
+            pass  # process context again: no irq violation
+        assert checks.report_data.ok
+        assert checks.lockdep.interrupt_entries == 1
+
+
+# ----------------------------------------------------------------------
+# Object-level run-queue locking (the distributed-queue variant's bug)
+# ----------------------------------------------------------------------
+class TestRunQueueObjectCheck:
+    def _distributed_kernel(self, num_queues=4):
+        from repro.common.params import MachineParams
+        from repro.cpu.processor import Processor
+        from repro.kernel.kernel import Kernel, KernelTuning
+        from repro.kernel.vm import VmTuning
+        from repro.memsys.system import MemorySystem
+
+        params = MachineParams(num_cpus=4)
+        memsys = MemorySystem(params)
+        cpus = [Processor(i, params, memsys) for i in range(4)]
+        tuning = KernelTuning(num_run_queues=num_queues,
+                              vm=VmTuning(baseline_frames=512))
+        kernel = Kernel(params, memsys, cpus, tuning=tuning)
+        checks = CheckRegistry(4, kernel.datamap, "test").install(
+            kernel, cpus, memsys
+        )
+        return kernel, cpus, checks
+
+    def test_unlocked_enqueue_reported(self):
+        kernel, cpus, checks = make_checked_kernel()
+        checks.races.on_queue_op(0, 1000, 0, "enqueue")
+        found = violations(checks, "race", "runq-wrong-lock")
+        assert len(found) == 1
+        assert found[0].details["required"] == "runqlk"
+        assert found[0].details["held_locks"] == "(none)"
+
+    def test_locked_enqueue_is_clean(self):
+        kernel, cpus, checks = make_checked_kernel()
+        with kernel.locks.held(cpus[0], "runqlk"):
+            checks.races.on_queue_op(0, 1000, 0, "enqueue")
+        assert checks.report_data.ok
+
+    def test_wrong_cluster_lock_reported(self):
+        """The injected fault: mutate queue 1 under queue 0's lock."""
+        kernel, cpus, checks = self._distributed_kernel()
+        with kernel.locks.held_lock(cpus[0], kernel.locks.runq(0)):
+            checks.races.on_queue_op(0, 1000, 1, "dequeue")
+        found = violations(checks, "race", "runq-wrong-lock")
+        assert len(found) == 1
+        violation = found[0]
+        assert violation.details["required"] == "runqlk_1"
+        assert "runqlk_0" in violation.details["held_locks"]
+
+    def test_matching_cluster_lock_is_clean(self):
+        kernel, cpus, checks = self._distributed_kernel()
+        for queue in range(4):
+            with kernel.locks.held_lock(cpus[0], kernel.locks.runq(queue)):
+                checks.races.on_queue_op(0, 1000, queue, "enqueue")
+        assert checks.report_data.ok
+        assert checks.races.queue_ops_checked == 4
+
+
+# ----------------------------------------------------------------------
+# Deep mode: block-sweep attribution
+# ----------------------------------------------------------------------
+class TestDeepMode:
+    def test_block_sweeps_attributed_to_structures(self):
+        kernel, cpus = make_kernel()
+        checks = CheckRegistry(4, kernel.datamap, "test", deep=True).install(
+            kernel, cpus, kernel.memsys
+        )
+        block_bytes = kernel.memsys.block_bytes
+        proc_block = kernel.datamap.proc_entry(0) // block_bytes
+        for _ in range(3):
+            cpus[0].dread_block(proc_block)
+        cpus[0].dwrite_block(proc_block)
+        assert checks.races.blocks_checked == 4
+        assert checks.races.block_sweeps.get("Process Table", 0) == 4
+
+    def test_shallow_mode_skips_block_probe(self):
+        kernel, cpus, checks = make_checked_kernel()
+        assert all(p.block_probe is None for p in cpus)
+        assert checks.races.blocks_checked == 0
+
+    def test_deep_counter_in_report(self):
+        kernel, cpus = make_kernel()
+        checks = CheckRegistry(4, kernel.datamap, "test", deep=True).install(
+            kernel, cpus, kernel.memsys
+        )
+        report = checks.report()
+        assert "block_sweeps" in report.counters
+
+    def test_env_deep_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "deep")
+        sim = Simulation("pmake", seed=3)
+        assert sim.checks is not None
+        assert sim.checks.deep
+        assert all(p.block_probe is not None for p in sim.processors)
 
 
 # ----------------------------------------------------------------------

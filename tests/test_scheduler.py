@@ -132,7 +132,7 @@ class TestAffinity:
         migrations relative to the IRIX default."""
         from repro.kernel.kernel import KernelTuning
         from repro.kernel.vm import VmTuning
-        from repro.sim.session import Simulation
+        from repro.api import Simulation
 
         def run(affinity):
             tuning = KernelTuning(

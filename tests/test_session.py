@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.params import MachineParams
 from repro.common.types import Mode
-from repro.sim.session import Simulation, run_traced_workload
+from repro.api import Simulation, run_traced_workload
 
 
 class TestBasicRun:

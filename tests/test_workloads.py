@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.rng import substream
-from repro.sim.session import Simulation
+from repro.api import Simulation
 from repro.workloads import WORKLOADS, make_workload
 from repro.workloads.multpgm import MultpgmWorkload
 from repro.workloads.oracle import OracleWorkload
