@@ -92,6 +92,14 @@ class TraceAnalysis:
     dispossame: Counter = field(default_factory=Counter)  # (domain, kind)
     upgrades: int = 0          # bus ownership upgrades (stall, not misses)
     escape_reads: int = 0      # instrumentation bus traffic
+    # Raw monitor transaction counts over the FULL trace (warmup
+    # included, unlike the windowed statistics above). These are the
+    # trace-level side of the checker cross-validation: every recorded
+    # bus transaction, bucketed the way the memory system issues them.
+    monitor_instr_reads: int = 0
+    monitor_data_reads: int = 0
+    monitor_writes: int = 0
+    monitor_uncached: int = 0
     # Attribution.
     sharing_by_struct: Counter = field(default_factory=Counter)
     dmiss_by_struct_class: Counter = field(default_factory=Counter)
@@ -127,6 +135,13 @@ class TraceAnalysis:
     # ------------------------------------------------------------------
     # Convenience queries
     # ------------------------------------------------------------------
+    def monitor_transactions(self) -> int:
+        """All recorded bus transactions (full trace, any op)."""
+        return (
+            self.monitor_instr_reads + self.monitor_data_reads
+            + self.monitor_writes + self.monitor_uncached
+        )
+
     def total_misses(self, domain: Optional[RefDomain] = None) -> int:
         return sum(
             count for (dom, _k, _c), count in self.miss_counts.items()
@@ -257,6 +272,7 @@ class TraceAnalyzer:
     # ------------------------------------------------------------------
     def _escape(self, entry) -> None:
         tick, cpu, addr, _op = entry
+        self.result.monitor_uncached += 1
         if tick >= self._window_start:
             self.result.escape_reads += 1
         cpu_state = self._cpus[cpu]
@@ -397,6 +413,7 @@ class TraceAnalyzer:
             else RefDomain.APP
         )
         if op == OP_WRITE:
+            result.monitor_writes += 1
             # Write-invalidate coherence: every other copy dies.
             for other, other_recon in enumerate(self._recons):
                 if other != cpu:
@@ -406,6 +423,10 @@ class TraceAnalyzer:
                 if in_window:
                     result.upgrades += 1
                 return
+        elif is_instr:
+            result.monitor_instr_reads += 1
+        else:
+            result.monitor_data_reads += 1
         cache = recon.icache if is_instr else recon.dcache
         miss_class, dispossame = cache.classify_fill(
             block, domain, recon.app_epoch

@@ -3,12 +3,18 @@
 The stall model is the paper's (Section 3.1): every bus access stalls
 the issuing CPU for 35 cycles, and stall time is compared against
 non-idle execution time.
+
+For checked runs the report also carries the sanitizers' event
+counters (``check_counters``) so the two independent accountings of
+bus traffic — what the hardware monitor recorded versus what the
+coherence checker was shown by the memory system — can be compared
+line by line via :meth:`AnalysisReport.crosscheck`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.common.types import MissClass, RefDomain
 from repro.analysis.decode import TraceAnalysis, TraceAnalyzer
@@ -26,6 +32,9 @@ class AnalysisReport:
 
     analysis: TraceAnalysis
     bus_stall_cycles: int = 35
+    # Sanitizer event counters (CheckReport.counters) for checked runs;
+    # None when the run was built without check=True.
+    check_counters: Optional[Dict[str, int]] = field(default=None)
 
     # ------------------------------------------------------------------
     # Execution-time split (Table 1 columns 2-4)
@@ -102,6 +111,70 @@ class AnalysisReport:
         )
         return 100.0 * count / total
 
+    # ------------------------------------------------------------------
+    # Trace-vs-checker cross-validation (checked runs only)
+    # ------------------------------------------------------------------
+    def crosscheck(self) -> Optional[Dict[str, Tuple[int, int, bool]]]:
+        """Compare monitor-side and checker-side bus accounting.
+
+        The hardware monitor and the coherence checker count the same
+        bus transactions from opposite ends of the machine: the monitor
+        records what appears on the bus, the checker is handed every
+        miss/upgrade event by the memory system. For a checked run this
+        returns ``{quantity: (monitor, checker, matched)}`` for the two
+        quantities that must agree exactly:
+
+        - ``data_reads`` — recorded DREAD transactions vs
+          ``bus_reads`` (one ``after_data_read`` hook per dread fill);
+        - ``write_transactions`` — recorded WRITE transactions vs
+          ``bus_write_transactions`` (the ownership-gaining subset of
+          write events; plain ``bus_writes`` also fires on the
+          silent-fill check path and so over-counts by design).
+
+        Returns ``None`` for unchecked runs. Instruction fetches are
+        deliberately excluded: the monitor keeps recording IFETCH
+        entries while a CPU spins in the idle loop during master buffer
+        dumps, but those fetches are outside the checker's hook points.
+        """
+        if not self.check_counters:
+            return None
+        monitor = self.analysis
+        pairs = {
+            "data_reads": (
+                monitor.monitor_data_reads,
+                self.check_counters.get("bus_reads", 0),
+            ),
+            "write_transactions": (
+                monitor.monitor_writes,
+                self.check_counters.get("bus_write_transactions", 0),
+            ),
+        }
+        return {
+            name: (seen, checked, seen == checked)
+            for name, (seen, checked) in pairs.items()
+        }
+
+    def crosscheck_lines(self) -> List[str]:
+        """Human-readable rendering of :meth:`crosscheck` (may be [])."""
+        comparison = self.crosscheck()
+        if comparison is None:
+            return []
+        lines = []
+        for name, (seen, checked, matched) in sorted(comparison.items()):
+            verdict = "ok" if matched else "MISMATCH"
+            lines.append(
+                f"crosscheck {name}: monitor={seen} checker={checked} "
+                f"[{verdict}]"
+            )
+        return lines
+
+    def crosscheck_ok(self) -> bool:
+        """True when unchecked or every compared quantity matches."""
+        comparison = self.crosscheck()
+        if comparison is None:
+            return True
+        return all(matched for _, _, matched in comparison.values())
+
 
 def analyze_trace(
     run: "TracedRun",
@@ -122,4 +195,10 @@ def analyze_trace(
     analysis = analyzer.analyze(
         run.trace, stats_from_tick=run.measure_from_cycles // CYCLES_PER_TICK
     )
-    return AnalysisReport(analysis, bus_stall_cycles=params.bus_stall_cycles)
+    check_report = getattr(run, "check_report", None)
+    counters = dict(check_report.counters) if check_report else None
+    return AnalysisReport(
+        analysis,
+        bus_stall_cycles=params.bus_stall_cycles,
+        check_counters=counters,
+    )

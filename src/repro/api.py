@@ -15,6 +15,10 @@ fails loudly instead of being swallowed. For checked runs pass
 ``check=True`` (or ``check="deep"`` for block-sweep attribution) and
 inspect ``run.check_report``.
 
+:func:`exhibit` builds (or loads, cache-warm) one of the paper's
+tables/figures; ``exhibit("table1").to_json()`` is byte-identical to
+what ``repro.service`` serves for ``GET /exhibits/table1``.
+
 The old deep-import paths (``repro.sim.session``,
 ``repro.experiments.base``) still work but emit ``DeprecationWarning``.
 """
@@ -29,6 +33,13 @@ from repro.common.params import MachineParams
 from repro.experiments._base import Exhibit, ExperimentContext, RunSettings
 from repro.kernel.kernel import KernelTuning
 from repro.sanitizers import CheckReport, CheckRegistry
+from repro.service import (
+    JobManager,
+    MetricsRegistry,
+    ServiceApp,
+    ServiceConfig,
+    serve,
+)
 from repro.sim._session import Simulation, TracedRun, run_traced_workload
 from repro.sim.runcache import RunCache
 from repro.workloads import Workload, make_workload
@@ -39,18 +50,25 @@ __all__ = [
     "CheckRegistry",
     "Exhibit",
     "ExperimentContext",
+    "JobManager",
     "KernelTuning",
     "MachineParams",
+    "MetricsRegistry",
     "RunCache",
     "RunSettings",
+    "ServiceApp",
+    "ServiceConfig",
     "Simulation",
     "TracedRun",
     "Workload",
     "analyze_trace",
+    "exhibit",
+    "list_exhibits",
     "make_workload",
     "report",
     "run",
     "run_traced_workload",
+    "serve",
 ]
 
 # Keywords run()/report() accept: the RunSettings fields (horizon_ms,
@@ -122,3 +140,48 @@ def report(
 
 
 _run = run  # `report` shadows the name with its keyword argument
+
+
+def exhibit(
+    exhibit_id: str,
+    *,
+    ctx: Optional[ExperimentContext] = None,
+    cache: Optional[Union[RunCache, bool]] = None,
+    **settings,
+) -> Exhibit:
+    """Build (or load, cache-warm) one of the paper's exhibits.
+
+    Accepts the :class:`RunSettings` fields as keyword arguments; an
+    unknown name raises :class:`TypeError`. By default the persistent
+    run cache is used, so a previously built exhibit loads in
+    milliseconds — the same storage and key the ``repro-experiments``
+    CLI and ``repro.service`` use, which is what makes
+    ``exhibit("table1").to_json()`` byte-identical to the service's
+    ``GET /exhibits/table1`` body. Pass ``cache=False`` to force a
+    fresh build, or share a prepared ``ctx`` across calls.
+    """
+    from repro.experiments.registry import run_experiment
+
+    if ctx is None:
+        valid = frozenset(RunSettings.__dataclass_fields__)
+        unknown = sorted(set(settings) - valid)
+        if unknown:
+            raise TypeError(
+                f"unknown setting(s) {', '.join(map(repr, unknown))}; "
+                f"valid names: {', '.join(sorted(valid))}"
+            )
+        if cache is None or cache is True:
+            cache = RunCache()
+        elif cache is False:
+            cache = RunCache(enabled=False)
+        ctx = ExperimentContext(RunSettings(**settings), cache=cache)
+    elif settings or cache is not None:
+        raise TypeError("pass either ctx= or settings/cache, not both")
+    return run_experiment(exhibit_id, ctx)
+
+
+def list_exhibits() -> "list[dict]":
+    """Machine-readable metadata for every registered exhibit."""
+    from repro.experiments.registry import list_exhibit_metadata
+
+    return list_exhibit_metadata()

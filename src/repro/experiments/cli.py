@@ -13,6 +13,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.analysis.report import analyze_trace
 from repro.experiments import parallel
 from repro.experiments._base import ExperimentContext, RunSettings
 from repro.experiments.registry import EXPERIMENTS, run_experiment
@@ -134,17 +135,25 @@ def _report_checks(ctx: ExperimentContext) -> int:
     printed only when something fired. Exit code 2 on any violation.
     """
     reports = []
+    crosscheck_failed = False
     for run in ctx.all_runs():
         report = run.check_report
         if report is not None:
             reports.append(report)
+            # Cross-validate the checker's bus accounting against the
+            # monitor's recorded transactions for the same run.
+            analysis_report = analyze_trace(run, keep_imiss_stream=False)
+            for line in analysis_report.crosscheck_lines():
+                print(f"  {run.workload_name}: {line}", file=sys.stderr)
+            if not analysis_report.crosscheck_ok():
+                crosscheck_failed = True
     if not reports:
         # Exhibits (and their checked runs) came straight from the cache;
         # they were verified clean when stored. Use --no-cache to re-check.
         print("sanitizers: all runs served from cache (verified at store "
               "time); --no-cache re-checks", file=sys.stderr)
         return 0
-    failed = False
+    failed = crosscheck_failed
     for report in reports:
         print(report.summary(), file=sys.stderr)
         if not report.ok:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments import (
     ablation_affinity, ablation_blockops, ablation_layout,
@@ -36,6 +36,38 @@ ABLATION_EXPERIMENTS: Dict[str, object] = {
 }
 
 EXPERIMENTS: Dict[str, object] = {**PAPER_EXPERIMENTS, **ABLATION_EXPERIMENTS}
+
+
+def exhibit_metadata(exhibit_id: str) -> Dict[str, object]:
+    """Machine-readable description of one registered exhibit.
+
+    This is the exhibit *registry* view (title, kind, chart support) —
+    static facts a service can list without building anything. Row data
+    comes from :func:`run_experiment`.
+    """
+    module = get_experiment(exhibit_id)
+    if exhibit_id.startswith("table"):
+        kind = "table"
+    elif exhibit_id.startswith("figure"):
+        kind = "figure"
+    elif exhibit_id.startswith("ablation"):
+        kind = "ablation"
+    else:
+        kind = "extra"
+    doc = (module.__doc__ or "").strip().splitlines()
+    return {
+        "id": exhibit_id,
+        "title": getattr(module, "TITLE", exhibit_id),
+        "kind": kind,
+        "paper": exhibit_id in PAPER_EXPERIMENTS,
+        "has_chart": getattr(module, "chart", None) is not None,
+        "description": doc[0] if doc else "",
+    }
+
+
+def list_exhibit_metadata() -> List[Dict[str, object]]:
+    """Metadata for every registered exhibit, in registry order."""
+    return [exhibit_metadata(exhibit_id) for exhibit_id in EXPERIMENTS]
 
 
 def get_experiment(exhibit_id: str):

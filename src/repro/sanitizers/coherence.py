@@ -37,6 +37,11 @@ class CoherenceChecker:
         self.writes_checked = 0
         self.reads_checked = 0
         self.flushes_checked = 0
+        # Write events that actually put a transaction on the bus (the
+        # ownership-gaining subset of writes_checked). This is the
+        # checker-side number the monitor's recorded WRITE entries must
+        # reproduce exactly — see AnalysisReport.crosscheck().
+        self.write_transactions = 0
 
     # ------------------------------------------------------------------
     # Hooks called from MemorySystem (only on miss/upgrade/flush paths)
@@ -57,6 +62,8 @@ class CoherenceChecker:
         icache_before: Tuple[int, ...],
     ) -> None:
         self.writes_checked += 1
+        if transacted:
+            self.write_transactions += 1
         memsys = self.memsys
         if missed and not transacted:
             self.registry.record(Violation(

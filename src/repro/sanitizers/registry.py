@@ -114,6 +114,7 @@ class CheckRegistry:
             "interrupt_entries": self.lockdep.interrupt_entries,
             "structure_accesses": self.races.accesses_checked,
             "bus_writes": self.coherence.writes_checked,
+            "bus_write_transactions": self.coherence.write_transactions,
             "bus_reads": self.coherence.reads_checked,
             "icache_flushes": self.coherence.flushes_checked,
             "llsc_pairs": self.llsc.pairs_validated,

@@ -1,0 +1,31 @@
+"""repro.service: async exhibit server over the experiment stack.
+
+A stdlib-only :mod:`asyncio` HTTP front end that serves the paper's
+exhibits as JSON. Cache-warm exhibits are answered immediately from the
+persistent run cache; cache-cold requests become jobs on a bounded
+queue drained by a process worker pool, with ``202 Accepted`` + polling
+and backpressure (``503`` + ``Retry-After``) when the queue is full.
+
+Entry points:
+
+- ``python -m repro.service --port 8080`` — run the server;
+- :class:`ServiceApp` — the routing/handler layer (transport-free,
+  directly testable);
+- :class:`JobManager` — bounded queue + worker pool;
+- :class:`MetricsRegistry` — Prometheus-style plain-text counters.
+"""
+
+from repro.service.app import ServiceApp, ServiceConfig
+from repro.service.jobs import Job, JobManager, QueueFull
+from repro.service.metrics import MetricsRegistry
+from repro.service.server import serve
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "MetricsRegistry",
+    "QueueFull",
+    "ServiceApp",
+    "ServiceConfig",
+    "serve",
+]

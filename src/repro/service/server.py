@@ -1,0 +1,184 @@
+"""Minimal asyncio HTTP/1.1 transport for :class:`ServiceApp`.
+
+Stdlib only: requests are parsed by hand (request line + headers; the
+service is GET/DELETE-only so bodies are read and discarded), replies
+are written with ``Content-Length`` and ``Connection: close``. One
+connection, one request — exhibit payloads are the expensive part, so
+keep-alive buys nothing here and dropping it keeps the parser trivial.
+
+Graceful shutdown (SIGINT/SIGTERM or :meth:`ExhibitServer.stop`):
+
+1. stop accepting new connections;
+2. let in-flight request handlers finish;
+3. drain the job queue and in-flight jobs (bounded by
+   ``ServiceConfig.drain_deadline_s``);
+4. shut the worker pool down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from typing import Optional
+
+from repro.service.app import STATUS_TEXT, Reply, ServiceApp
+
+MAX_REQUEST_BYTES = 65536
+REQUEST_READ_TIMEOUT_S = 30.0
+
+
+class ExhibitServer:
+    """Owns the listening socket and the app's lifecycle."""
+
+    def __init__(self, app: ServiceApp, host: str = "127.0.0.1",
+                 port: int = 8080):
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Created in start(): pre-3.10 asyncio primitives bind the event
+        # loop at construction time.
+        self._stopping: Optional[asyncio.Event] = None
+        self._connections = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._stopping = asyncio.Event()
+        await self.app.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.port = sock.getsockname()[1]  # resolve port 0
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` (or a signal handler) fires."""
+        assert self._server is not None and self._stopping is not None, \
+            "call start() first"
+        await self._stopping.wait()
+        await self._shutdown()
+
+    def stop(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            await asyncio.gather(
+                *list(self._connections), return_exceptions=True
+            )
+        await self.app.close(drain=True)
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self.stop)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._serve_one(reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _serve_one(self, reader, writer) -> None:
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), REQUEST_READ_TIMEOUT_S
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+            return
+        except asyncio.LimitOverrunError:
+            self._write(writer, Reply(400, "text/plain", b"request too large\n"))
+            return
+        if len(head) > MAX_REQUEST_BYTES:
+            self._write(writer, Reply(400, "text/plain", b"request too large\n"))
+            return
+        request_line, _, header_block = head.partition(b"\r\n")
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").split(" ", 2)
+            )
+        except ValueError:
+            self._write(writer, Reply(400, "text/plain", b"bad request line\n"))
+            return
+        # Drain a body if one was declared (tolerate odd clients).
+        content_length = 0
+        for line in header_block.split(b"\r\n"):
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    pass
+        if content_length:
+            try:
+                await asyncio.wait_for(
+                    reader.readexactly(min(content_length, MAX_REQUEST_BYTES)),
+                    REQUEST_READ_TIMEOUT_S,
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                return
+        path, _, query = target.partition("?")
+        try:
+            reply = self.app.handle(method.upper(), path, query)
+        except Exception as exc:  # never let a handler bug kill the server
+            reply = Reply(
+                500, "application/json",
+                (f'{{"error": "internal error: {type(exc).__name__}"}}\n'
+                 ).encode(),
+            )
+        self._write(writer, reply)
+        await writer.drain()
+
+    @staticmethod
+    def _write(writer, reply: Reply) -> None:
+        reason = STATUS_TEXT.get(reply.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {reply.status} {reason}",
+            f"Content-Type: {reply.content_type}",
+            f"Content-Length: {len(reply.body)}",
+            "Connection: close",
+        ]
+        for name, value in reply.headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + reply.body)
+
+
+async def serve(app: ServiceApp, host: str = "127.0.0.1", port: int = 8080,
+                ready_message: bool = True) -> None:
+    """Start serving and block until a termination signal."""
+    server = ExhibitServer(app, host, port)
+    await server.start()
+    server.install_signal_handlers()
+    if ready_message:
+        print(
+            f"repro.service listening on http://{server.host}:{server.port} "
+            f"(workers={app.jobs.max_workers}, "
+            f"queue={app.jobs.queue_depth}, "
+            f"settings={app.config.settings})",
+            file=sys.stderr,
+            flush=True,
+        )
+    await server.serve_forever()

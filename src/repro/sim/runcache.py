@@ -27,7 +27,14 @@ Safety properties:
   as a miss (and unlinked), falling back to re-simulation;
 - **escape hatches** — ``REPRO_NO_CACHE=1`` (or ``--no-cache`` in the
   CLI) disables the cache entirely; ``REPRO_CACHE_DIR`` (or
-  ``--cache-dir``) relocates it from the default ``~/.cache/repro``.
+  ``--cache-dir``) relocates it from the default ``~/.cache/repro``;
+- **cold-run dedup** — populating a missing entry is guarded by an
+  advisory claim file (``<key>.lock``, created with ``O_EXCL`` so
+  exactly one process wins). Losers wait for the winner's entry to
+  appear instead of re-simulating the same key — which is what keeps a
+  pool of service workers from doing N× the work on a thundering herd —
+  and fall back to simulating themselves if the winner dies or stalls
+  past the stale-lock horizon.
 """
 
 from __future__ import annotations
@@ -37,11 +44,17 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 _ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 _ENV_NO_CACHE = "REPRO_NO_CACHE"
+_ENV_LOCK_WAIT = "REPRO_CACHE_LOCK_WAIT"
+
+# A claim file older than this is presumed abandoned (holder crashed
+# without the ``finally: release()``) and is broken by the next waiter.
+STALE_CLAIM_S = 900.0
 
 # Bump to shed all old entries when the on-disk payload layout changes.
 _FORMAT = 1
@@ -119,6 +132,10 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        # probes = every load() attempt (hits + misses); dedup_hits =
+        # cold runs avoided by waiting out another process's claim.
+        self.probes = 0
+        self.dedup_hits = 0
 
     # -- keying --------------------------------------------------------
     @staticmethod
@@ -179,6 +196,16 @@ class RunCache:
         """
         if not self.enabled:
             return None
+        self.probes += 1
+        payload = self._read(key)
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
+
+    def _read(self, key: str) -> Optional[Dict[str, Any]]:
+        """Uncounted read (shared by :meth:`load` and the claim waiter)."""
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
@@ -186,16 +213,13 @@ class RunCache:
             if not isinstance(payload, dict):
                 raise ValueError("cache payload is not a dict")
         except FileNotFoundError:
-            self.misses += 1
             return None
         except Exception:
-            self.misses += 1
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        self.hits += 1
         return payload
 
     def store(self, key: str, payload: Dict[str, Any]) -> bool:
@@ -221,13 +245,104 @@ class RunCache:
         self.stores += 1
         return True
 
+    # -- cold-run claim lock -------------------------------------------
+    def _claim_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.lock"
+
+    def claim(self, key: str) -> bool:
+        """Try to become the one process that populates ``key``.
+
+        Atomic ``O_CREAT|O_EXCL`` of a claim file; the winner must call
+        :meth:`release` (in a ``finally``) once the entry is stored. A
+        claim older than :data:`STALE_CLAIM_S` is presumed abandoned,
+        broken, and re-contended. Always True when the cache is
+        disabled: with no shared store there is nothing to coordinate.
+        """
+        if not self.enabled:
+            return True
+        path = self._claim_path(key)
+        for _ in range(2):  # second pass: after breaking a stale claim
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if not self._claim_stale(path):
+                    return False
+                try:
+                    path.unlink()
+                except OSError:
+                    return False
+                continue
+            except OSError:
+                # Unwritable cache dir: behave like a disabled cache.
+                return True
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            return True
+        return False
+
+    def release(self, key: str) -> None:
+        try:
+            self._claim_path(key).unlink()
+        except OSError:
+            pass
+
+    @staticmethod
+    def _claim_stale(path: Path) -> bool:
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:  # vanished: not stale, just gone
+            return False
+        return age > STALE_CLAIM_S
+
+    def wait_for(self, key: str, timeout_s: Optional[float] = None,
+                 poll_s: float = 0.1) -> Optional[Dict[str, Any]]:
+        """Wait for another process's claimed entry to appear.
+
+        Polls until the entry exists (a dedup hit, counted) or the
+        claim is released/stale/timed out without producing one (the
+        caller then simulates after all). ``REPRO_CACHE_LOCK_WAIT``
+        overrides the default timeout; ``0`` disables waiting entirely.
+        """
+        if not self.enabled:
+            return None
+        if timeout_s is None:
+            timeout_s = float(os.environ.get(_ENV_LOCK_WAIT, STALE_CLAIM_S))
+        deadline = time.monotonic() + timeout_s
+        claim = self._claim_path(key)
+        while True:
+            payload = self._read(key)
+            if payload is not None:
+                self.dedup_hits += 1
+                self.hits += 1
+                self.probes += 1
+                return payload
+            if not claim.exists() or self._claim_stale(claim):
+                return None
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(poll_s)
+
     # -- reporting -----------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Machine-readable counters (the service's /metrics reads this)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "probes": self.probes,
+            "dedup_hits": self.dedup_hits,
+        }
+
     def stats_line(self) -> str:
         state = "on" if self.enabled else "off"
-        return (
+        line = (
             f"cache[{state}] {self.cache_dir}: "
             f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
         )
+        if self.dedup_hits:
+            line += f", {self.dedup_hits} dedup"
+        return line
 
 
 # ----------------------------------------------------------------------
@@ -263,9 +378,19 @@ def load_or_run(
     elif not sim_kwargs.get("check", False):
         sim_kwargs.pop("check", None)
     key = None
+    claimed = False
     if cache is not None:
         key = cache.run_key(workload, horizon_ms, warmup_ms, seed, sim_kwargs)
         payload = cache.load(key)
+        if payload is None and cache.enabled:
+            # Cold: exactly one process simulates this key; everyone
+            # else waits for its entry instead of duplicating work.
+            claimed = cache.claim(key)
+            if not claimed:
+                payload = cache.wait_for(key)
+                if payload is None:
+                    # Claim holder died or stalled: do the work ourselves.
+                    claimed = cache.claim(key)
         if payload is not None:
             run, report = payload.get("run"), payload.get("report")
             if run is not None:
@@ -273,11 +398,15 @@ def load_or_run(
                     report = _analyze(run)
                     cache.store(key, {"run": run, "report": report})
                 return run, report
-    sim = Simulation(workload, seed=seed, **sim_kwargs)
-    run = sim.run(horizon_ms, warmup_ms=warmup_ms)
-    report = _analyze(run) if analyze else None
-    if cache is not None and key is not None:
-        cache.store(key, {"run": run, "report": report})
+    try:
+        sim = Simulation(workload, seed=seed, **sim_kwargs)
+        run = sim.run(horizon_ms, warmup_ms=warmup_ms)
+        report = _analyze(run) if analyze else None
+        if cache is not None and key is not None:
+            cache.store(key, {"run": run, "report": report})
+    finally:
+        if cache is not None and key is not None and claimed:
+            cache.release(key)
     return run, report
 
 

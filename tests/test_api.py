@@ -189,3 +189,71 @@ class TestCliJsonFormat:
         assert exhibit.exhibit_id == "table11"
         # The JSON carries exactly what the text rendering shows.
         assert exhibit.to_text() in text_out
+
+
+class TestExhibitFacade:
+    def test_exhibit_builds_without_cache(self):
+        exhibit = api.exhibit("table11", cache=False, **_SHORT)
+        assert exhibit.exhibit_id == "table11"
+        assert exhibit.rows
+
+    def test_exhibit_uses_cache(self, tmp_path):
+        from repro.api import RunCache
+
+        cache = RunCache(cache_dir=tmp_path / "c")
+        cold = api.exhibit("table11", cache=cache, **_SHORT)
+        warm_cache = RunCache(cache_dir=tmp_path / "c")
+        warm = api.exhibit("table11", cache=warm_cache, **_SHORT)
+        assert warm_cache.hits >= 1 and warm_cache.stores == 0
+        assert warm.to_json() == cold.to_json()
+
+    def test_exhibit_rejects_unknown_setting(self):
+        with pytest.raises(TypeError, match="horizont_ms"):
+            api.exhibit("table11", horizont_ms=1.0)
+
+    def test_exhibit_rejects_ctx_plus_settings(self):
+        ctx = ExperimentContext(RunSettings(**_SHORT))
+        with pytest.raises(TypeError, match="not both"):
+            api.exhibit("table11", ctx=ctx, horizon_ms=1.0)
+
+    def test_exhibit_with_shared_ctx_memoizes_runs(self):
+        ctx = ExperimentContext(RunSettings(**_SHORT))
+        first = api.exhibit("table11", ctx=ctx)
+        second = api.exhibit("table11", ctx=ctx)
+        assert first.to_json() == second.to_json()
+
+    def test_list_exhibits_metadata(self):
+        listed = api.list_exhibits()
+        ids = [meta["id"] for meta in listed]
+        assert "table1" in ids and "figure4" in ids
+        for meta in listed:
+            assert set(meta) == {
+                "id", "title", "kind", "paper", "has_chart", "description",
+            }
+        by_id = {meta["id"]: meta for meta in listed}
+        assert by_id["table1"]["kind"] == "table"
+        assert by_id["figure4"]["kind"] == "figure"
+        assert by_id["table1"]["paper"] is True
+
+
+class TestCoverageJsonRoundTrip:
+    def test_check_coverage_survives_json(self):
+        """Regression: the JSON wire format (what repro.service serves)
+        must carry check_coverage through from_dict intact."""
+        exhibit = Exhibit("table0", "A title", ("a", "b"))
+        exhibit.add_row("x", 1.5)
+        exhibit.check_coverage.append("sanitizers [pmake]: clean (...)")
+        wire = json.loads(exhibit.to_json())
+        clone = Exhibit.from_dict(wire)
+        assert clone.check_coverage == exhibit.check_coverage
+        assert clone.to_json() == exhibit.to_json()
+
+    def test_checked_exhibit_json_round_trip(self):
+        ctx = ExperimentContext(
+            RunSettings(horizon_ms=1.0, warmup_ms=5.0, seed=5, check=True)
+        )
+        exhibit = api.exhibit("table11", ctx=ctx)
+        assert exhibit.check_coverage, "checked build must record coverage"
+        clone = Exhibit.from_dict(json.loads(exhibit.to_json()))
+        assert clone.check_coverage == exhibit.check_coverage
+        assert clone.to_json() == exhibit.to_json()

@@ -182,3 +182,124 @@ class TestEscapeHatches:
         ]) == 0
         assert not (tmp_path / "c").exists()
         assert "table3" in capsys.readouterr().out
+
+
+class TestClaimLock:
+    """Advisory cold-run dedup: one claimant populates, waiters reuse."""
+
+    def test_claim_is_exclusive_until_released(self, cache):
+        key = cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        assert cache.claim(key)
+        other = RunCache(cache_dir=cache.cache_dir)
+        assert not other.claim(key)
+        cache.release(key)
+        assert other.claim(key)
+        other.release(key)
+
+    def test_claim_always_wins_when_disabled(self, tmp_path):
+        disabled = RunCache(cache_dir=tmp_path / "c", enabled=False)
+        key = "run-deadbeef"
+        assert disabled.claim(key)
+        assert disabled.claim(key)  # no claim file exists to collide with
+        assert not (tmp_path / "c").exists()
+
+    def test_stale_claim_is_broken(self, cache):
+        import os
+        import time as _time
+
+        from repro.sim.runcache import STALE_CLAIM_S
+
+        key = cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        assert cache.claim(key)
+        lock = cache.cache_dir / f"{key}.lock"
+        old = _time.time() - STALE_CLAIM_S - 60
+        os.utime(lock, (old, old))
+        # A fresh contender presumes the holder dead and takes over.
+        other = RunCache(cache_dir=cache.cache_dir)
+        assert other.claim(key)
+        other.release(key)
+
+    def test_release_is_idempotent(self, cache):
+        key = cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        cache.release(key)  # nothing claimed: no error
+        assert cache.claim(key)
+        cache.release(key)
+        cache.release(key)
+
+    def test_wait_for_returns_none_when_claim_released_empty(self, cache):
+        """Claim released without an entry: the waiter gives up and
+        simulates itself (returns None immediately, no timeout burn)."""
+        key = cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        assert cache.wait_for(key, timeout_s=5.0) is None
+        assert cache.dedup_hits == 0
+
+    def test_wait_for_times_out(self, cache):
+        key = cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        other = RunCache(cache_dir=cache.cache_dir)
+        assert other.claim(key)
+        try:
+            assert cache.wait_for(key, timeout_s=0.3, poll_s=0.05) is None
+        finally:
+            other.release(key)
+
+    def test_wait_for_counts_dedup_hit(self, cache):
+        import threading
+
+        run, _ = _get(None)  # simulate once, outside any cache
+        key = cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        winner = RunCache(cache_dir=cache.cache_dir)
+        assert winner.claim(key)
+
+        def publish():
+            winner.store(key, {"run": run, "report": None})
+            winner.release(key)
+
+        timer = threading.Timer(0.3, publish)
+        timer.start()
+        try:
+            payload = cache.wait_for(key, timeout_s=10.0, poll_s=0.05)
+        finally:
+            timer.join()
+        assert payload is not None and payload["run"] is not None
+        assert cache.dedup_hits == 1 and cache.hits == 1
+        assert "1 dedup" in cache.stats_line()
+        assert cache.stats()["dedup_hits"] == 1
+
+    def test_load_or_run_dedups_against_claim_holder(self, cache):
+        import threading
+
+        run, _ = _get(None)
+        key = cache.run_key("pmake", HORIZON, WARMUP, SEED)
+        winner = RunCache(cache_dir=cache.cache_dir)
+        assert winner.claim(key)
+
+        def publish():
+            winner.store(key, {"run": run, "report": None})
+            winner.release(key)
+
+        timer = threading.Timer(0.3, publish)
+        timer.start()
+        try:
+            reused, _ = _get(cache)
+        finally:
+            timer.join()
+        # The loser never simulated: it waited out the winner's claim.
+        assert cache.dedup_hits == 1 and cache.stores == 0
+        assert list(reused.trace.all_entries()) == list(run.trace.all_entries())
+        # And the claim file is gone, so the next cold run is unclaimed.
+        assert not (cache.cache_dir / f"{key}.lock").exists()
+
+    def test_load_or_run_releases_claim_after_store(self, cache):
+        run, _ = _get(cache)
+        assert cache.stores == 1
+        assert not list(cache.cache_dir.glob("*.lock"))
+
+    def test_stats_shape(self, cache):
+        _get(cache)
+        _get(cache)
+        stats = cache.stats()
+        assert stats == {
+            "hits": 1, "misses": 1, "stores": 1, "probes": 2,
+            "dedup_hits": 0,
+        }
+        assert "dedup" not in cache.stats_line()

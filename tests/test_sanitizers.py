@@ -795,3 +795,63 @@ class TestCheckedRuns:
         )
         assert "pmake" in run.check_report.summary()
         assert "clean" in run.check_report.summary()
+
+
+# ----------------------------------------------------------------------
+# Trace-vs-checker cross-validation (AnalysisReport.crosscheck)
+# ----------------------------------------------------------------------
+class TestCrosscheck:
+    """The monitor and the coherence checker count the same bus
+    transactions from opposite ends of the machine; on a clean run the
+    two accountings must agree *exactly*."""
+
+    @pytest.mark.parametrize("workload", ["pmake", "multpgm", "oracle"])
+    def test_monitor_matches_checker_exactly(self, workload):
+        from repro.analysis.report import analyze_trace
+
+        run = run_traced_workload(
+            workload=workload, horizon_ms=3.0, warmup_ms=20.0, seed=5,
+            check=True,
+        )
+        report = analyze_trace(run)
+        assert report.check_counters == run.check_report.counters
+        comparison = report.crosscheck()
+        assert comparison is not None
+        for name, (seen, checked, matched) in comparison.items():
+            assert seen > 0, name
+            assert matched, (name, seen, checked)
+        assert report.crosscheck_ok()
+
+    def test_write_transactions_subset_of_writes(self):
+        run = run_traced_workload(
+            workload="pmake", horizon_ms=2.0, warmup_ms=10.0, seed=5,
+            check=True,
+        )
+        counters = run.check_report.counters
+        assert 0 < counters["bus_write_transactions"] <= counters["bus_writes"]
+
+    def test_unchecked_run_has_no_crosscheck(self):
+        from repro.analysis.report import analyze_trace
+
+        run = run_traced_workload(
+            workload="pmake", horizon_ms=1.0, warmup_ms=5.0, seed=5
+        )
+        report = analyze_trace(run)
+        assert report.check_counters is None
+        assert report.crosscheck() is None
+        assert report.crosscheck_lines() == []
+        assert report.crosscheck_ok()  # vacuously true
+
+    def test_crosscheck_lines_flag_mismatch(self):
+        from repro.analysis.report import analyze_trace
+
+        run = run_traced_workload(
+            workload="pmake", horizon_ms=1.0, warmup_ms=5.0, seed=5,
+            check=True,
+        )
+        report = analyze_trace(run)
+        assert all("[ok]" in line for line in report.crosscheck_lines())
+        # Corrupt one checker counter: the comparison must turn red.
+        report.check_counters["bus_reads"] += 1
+        assert not report.crosscheck_ok()
+        assert any("MISMATCH" in line for line in report.crosscheck_lines())
