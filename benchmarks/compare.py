@@ -1,0 +1,105 @@
+"""Compare two pytest-benchmark JSON files; fail on regressions.
+
+The CI perf-trajectory gate: ``bench-baseline`` runs the benchmark
+suite, writes ``BENCH_<sha>.json``, and compares it against the
+committed ``BENCH_baseline.json``::
+
+    python benchmarks/compare.py BENCH_baseline.json BENCH_new.json
+
+Exit status 1 when any benchmark regressed beyond the threshold
+(default 25%).
+
+CI runners and developer machines differ in raw speed, so the default
+comparison is **relative**: each benchmark's median is first normalized
+by the geometric mean of the medians common to both files, which
+cancels a uniform host-speed factor and leaves per-benchmark *shape*
+changes — exactly what a code change alters. ``--absolute`` compares
+raw medians instead (meaningful when both files come from the same
+host, e.g. the same CI runner class).
+
+Benchmarks present in only one file are reported but never fail the
+gate (new benchmarks must be able to land together with their code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Dict
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    with open(path) as fh:
+        payload = json.load(fh)
+    medians = {}
+    for bench in payload.get("benchmarks", []):
+        medians[bench["name"]] = float(bench["stats"]["median"])
+    return medians
+
+
+def normalize(medians: Dict[str, float], common) -> Dict[str, float]:
+    """Divide every median by the geometric mean over ``common`` names."""
+    logs = [math.log(medians[name]) for name in common if medians[name] > 0]
+    if not logs:
+        return dict(medians)
+    scale = math.exp(sum(logs) / len(logs))
+    return {name: value / scale for name, value in medians.items()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument("candidate", help="freshly generated benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRACTION",
+        help="allowed slowdown before failing (default: 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="compare raw medians instead of host-normalized ones",
+    )
+    args = parser.parse_args(argv)
+
+    base = load_medians(args.baseline)
+    cand = load_medians(args.candidate)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 1
+    if not args.absolute:
+        base = normalize(base, common)
+        cand = normalize(cand, common)
+
+    mode = "absolute" if args.absolute else "host-normalized"
+    print(f"{len(common)} common benchmark(s), {mode} medians, "
+          f"threshold +{args.threshold:.0%}")
+    regressions = []
+    width = max(len(name) for name in common)
+    for name in common:
+        ratio = cand[name] / base[name] if base[name] else float("inf")
+        flag = ""
+        if ratio > 1 + args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio < 1 / (1 + args.threshold):
+            flag = "  improved"
+        print(f"  {name:<{width}}  {ratio:7.2f}x{flag}")
+    for name in sorted(set(cand) - set(base)):
+        print(f"  {name:<{width}}  (new, not gated)")
+    for name in sorted(set(base) - set(cand)):
+        print(f"  {name:<{width}}  (removed from suite)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+              f"+{args.threshold:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x slower", file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

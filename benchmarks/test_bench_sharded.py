@@ -1,0 +1,79 @@
+"""Benchmark the sharded, vectorized analysis core against the serial path.
+
+Four measurements on the same pmake trace: the full postprocessing pass
+(serial vs sharded) and the Figure 6 cache sweep (scalar vs
+vectorized+pooled). The serial numbers are the denominators of the
+speedup the sharded core exists for; both variants are asserted
+result-identical before timing, so a benchmark can never "win" by
+drifting from the reference output.
+
+``REPRO_BENCH_SHARDS`` (default 4) sets the shard count.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.report import analyze_trace
+from repro.analysis.sweeps import simulate_icache_sweep
+from repro.sim.sharded import simulate_icache_sweep_sharded
+
+SHARDS = int(os.environ.get("REPRO_BENCH_SHARDS", "4"))
+
+
+@pytest.fixture(scope="module")
+def pmake_run(warm_ctx):
+    return warm_ctx.run("pmake")
+
+
+@pytest.fixture(scope="module")
+def imiss_stream(warm_ctx):
+    return warm_ctx.report("pmake").analysis.imiss_stream
+
+
+def _entries(run) -> int:
+    return sum(len(segment.entries) for segment in run.trace.segments)
+
+
+def _time_analysis(benchmark, run, shards: int):
+    result = benchmark.pedantic(
+        analyze_trace, args=(run,), kwargs={"shards": shards},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["trace_entries"] = _entries(run)
+    benchmark.extra_info["refs_per_sec"] = round(
+        _entries(run) / benchmark.stats.stats.median
+    )
+    benchmark.extra_info["shards"] = shards
+    return result
+
+
+def test_bench_analysis_serial(benchmark, pmake_run):
+    report = _time_analysis(benchmark, pmake_run, shards=1)
+    assert report.analysis.measured_ticks > 0
+
+
+def test_bench_analysis_sharded(benchmark, pmake_run):
+    serial = analyze_trace(pmake_run).analysis
+    report = _time_analysis(benchmark, pmake_run, shards=SHARDS)
+    assert report.analysis == serial  # identical or the timing is void
+
+
+def test_bench_sweep_serial(benchmark, imiss_stream):
+    points = benchmark.pedantic(
+        simulate_icache_sweep, args=(imiss_stream, 4), rounds=1, iterations=1
+    )
+    benchmark.extra_info["stream_entries"] = len(imiss_stream)
+    assert points
+
+
+def test_bench_sweep_sharded(benchmark, imiss_stream):
+    serial = simulate_icache_sweep(imiss_stream, 4)
+    points = benchmark.pedantic(
+        simulate_icache_sweep_sharded, args=(imiss_stream, 4),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["stream_entries"] = len(imiss_stream)
+    assert points == serial  # identical or the timing is void

@@ -81,6 +81,26 @@ def simulate_icache_config(
     return SweepPoint(size_bytes, associativity, os_misses, os_inval, app_misses)
 
 
+def sweep_configs(
+    sizes: Iterable[int],
+    associativities: Iterable[int],
+) -> List[Tuple[int, int]]:
+    """The derivable ``(size_bytes, associativity)`` grid, in sweep order.
+
+    A two-way cache of the base size (64 KB) cannot be simulated from the
+    miss stream of a direct-mapped 64 KB cache (the paper notes the same
+    limitation), so that point is skipped. Single-sourced so the serial
+    and sharded sweeps can never disagree about coverage.
+    """
+    base_size = 64 * 1024
+    return [
+        (size, assoc)
+        for assoc in associativities
+        for size in sizes
+        if not (assoc > 1 and size <= base_size)
+    ]
+
+
 def simulate_icache_sweep(
     stream: Sequence[StreamEntry],
     num_cpus: int,
@@ -89,19 +109,8 @@ def simulate_icache_sweep(
     associativities: Iterable[int] = (1, 2),
     block_bytes: int = 16,
 ) -> List[SweepPoint]:
-    """The Figure 6 grid.
-
-    A two-way cache of the base size (64 KB) cannot be simulated from the
-    miss stream of a direct-mapped 64 KB cache (the paper notes the same
-    limitation), so that point is skipped.
-    """
-    base_size = 64 * 1024
-    points = []
-    for assoc in associativities:
-        for size in sizes:
-            if assoc > 1 and size <= base_size:
-                continue  # not derivable from the base machine's misses
-            points.append(
-                simulate_icache_config(stream, num_cpus, size, assoc, block_bytes)
-            )
-    return points
+    """The Figure 6 grid (see :func:`sweep_configs` for the skip rule)."""
+    return [
+        simulate_icache_config(stream, num_cpus, size, assoc, block_bytes)
+        for size, assoc in sweep_configs(sizes, associativities)
+    ]

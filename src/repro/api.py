@@ -114,6 +114,8 @@ def run(
     horizon = settings.pop("horizon_ms", defaults.horizon_ms)
     warmup = settings.pop("warmup_ms", defaults.warmup_ms)
     seed = settings.pop("seed", defaults.seed)
+    # An analysis-only knob: a traced run is shard-independent.
+    settings.pop("shards", None)
     if check:
         settings["check"] = check
     return run_traced_workload(
@@ -131,12 +133,14 @@ def report(
 
     Same keyword validation as :func:`run`; pass an existing
     :class:`TracedRun` as ``run=`` to analyze it without re-simulating.
+    ``shards=N`` parallelizes the analysis pass (byte-identical output).
     """
+    shards = settings.pop("shards", 1)
     if run is None:
         _validate(settings)
         check = settings.pop("check", False)
         run = _run(workload, check=check, **settings)
-    return analyze_trace(run)
+    return analyze_trace(run, shards=shards)
 
 
 _run = run  # `report` shadows the name with its keyword argument

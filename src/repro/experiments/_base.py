@@ -29,6 +29,23 @@ class RunSettings:
     # (``--check`` / ``REPRO_CHECK=1``). Part of the frozen settings so
     # exhibit cache keys (repr-based) distinguish checked runs too.
     check: bool = False
+    # Analysis shard count (``--shards`` / ``REPRO_SHARDS``). A pure
+    # wall-clock knob: the sharded core is byte-identical to serial, so
+    # this field is excluded from cache keys (see :meth:`cache_repr`).
+    shards: int = 1
+
+    def cache_repr(self) -> str:
+        """The repr used for exhibit cache keys.
+
+        Excludes ``shards`` (identical output ⇒ identical cache entry)
+        and reproduces the pre-``shards`` dataclass repr byte for byte,
+        so existing warm caches stay valid.
+        """
+        return (
+            f"RunSettings(horizon_ms={self.horizon_ms!r}, "
+            f"warmup_ms={self.warmup_ms!r}, seed={self.seed!r}, "
+            f"check={self.check!r})"
+        )
 
 
 class ExperimentContext:
@@ -61,7 +78,7 @@ class ExperimentContext:
         self.private_runs: List[TracedRun] = []
 
     def _resolved(self, overrides: Dict):
-        """Split overrides into (horizon, warmup, seed, sim kwargs).
+        """Split overrides into (horizon, warmup, seed, sim kwargs, shards).
 
         Only :class:`RunSettings` fields may be overridden; an unknown
         key raises instead of being silently forwarded (a typo'd
@@ -78,17 +95,28 @@ class ExperimentContext:
         warmup = overrides.get("warmup_ms", self.settings.warmup_ms)
         seed = overrides.get("seed", self.settings.seed)
         check = overrides.get("check", self.settings.check)
+        shards = overrides.get("shards", getattr(self.settings, "shards", 1))
         # Unchecked runs keep sim_kwargs == {} so PR-1 cache keys (and
         # the byte-identity smoke) are untouched.
         sim_kwargs = {"check": check} if check else {}
-        return horizon, warmup, seed, sim_kwargs
+        return horizon, warmup, seed, sim_kwargs, shards
+
+    @staticmethod
+    def _memory_key(workload: str, overrides: Dict) -> Tuple:
+        """In-memory cache key; ``shards`` is excluded because sharded
+        and serial analysis of the same run are identical objects."""
+        return (
+            workload,
+            tuple(sorted((k, v) for k, v in overrides.items() if k != "shards")),
+        )
 
     def run(self, workload: str, **overrides) -> TracedRun:
-        key = (workload, tuple(sorted(overrides.items())))
+        key = self._memory_key(workload, overrides)
         if key not in self._runs:
-            horizon, warmup, seed, sim_kwargs = self._resolved(overrides)
+            horizon, warmup, seed, sim_kwargs, shards = self._resolved(overrides)
             run, report = load_or_run(
-                self.cache, workload, horizon, warmup, seed, sim_kwargs
+                self.cache, workload, horizon, warmup, seed, sim_kwargs,
+                shards=shards,
             )
             self._runs[key] = run
             if report is not None:
@@ -96,15 +124,15 @@ class ExperimentContext:
         return self._runs[key]
 
     def report(self, workload: str, **overrides) -> AnalysisReport:
-        key = (workload, tuple(sorted(overrides.items())))
+        key = self._memory_key(workload, overrides)
         if key not in self._reports:
-            horizon, warmup, seed, sim_kwargs = self._resolved(overrides)
+            horizon, warmup, seed, sim_kwargs, shards = self._resolved(overrides)
             if key in self._runs:
                 # Run already in memory (possibly mid-upgrade from a
                 # report-less disk entry): analyze it and persist the
                 # completed pair.
                 run = self._runs[key]
-                report = analyze_trace(run)
+                report = analyze_trace(run, shards=shards)
                 if self.cache is not None:
                     cache_key = self.cache.run_key(
                         workload, horizon, warmup, seed, sim_kwargs
@@ -113,7 +141,7 @@ class ExperimentContext:
             else:
                 run, report = load_or_run(
                     self.cache, workload, horizon, warmup, seed, sim_kwargs,
-                    analyze=True,
+                    analyze=True, shards=shards,
                 )
                 self._runs[key] = run
             self._reports[key] = report

@@ -19,6 +19,7 @@ from repro.experiments._base import ExperimentContext, RunSettings
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.sanitizers import check_enabled_by_env, deep_check_enabled_by_env
 from repro.sim.runcache import RunCache
+from repro.sim.sharded import SHARD_STATS, resolve_shards
 
 # argparse defaults come from the dataclass so the CLI cannot drift
 # from the settings the library and fixtures use.
@@ -40,6 +41,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--jobs", type=int, default=parallel.default_jobs(), metavar="N",
         help="worker processes for simulations and exhibit builds "
              "(default: min(3, cpu_count))",
+    )
+    run_cmd.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard the analysis pass across N processes; output is "
+             "byte-identical to serial (default: $REPRO_SHARDS or 1)",
     )
     run_cmd.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -87,6 +93,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # processes would strand them. Checked runs are serial.
         print("[--check forces jobs=1]", file=sys.stderr)
         args.jobs = 1
+    shards = resolve_shards(args.shards)
     cache = RunCache(cache_dir=args.cache_dir, enabled=not args.no_cache)
     ctx = ExperimentContext(
         RunSettings(
@@ -94,6 +101,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             warmup_ms=args.warmup_ms,
             seed=args.seed,
             check=check,
+            shards=shards,
         ),
         cache=cache,
     )
@@ -103,7 +111,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Serial: print each exhibit as it completes.
         built = ((e, run_experiment(e, ctx)) for e in targets)
     else:
-        built = parallel.run_exhibits(ctx, targets, jobs=args.jobs)
+        try:
+            built = parallel.run_exhibits(ctx, targets, jobs=args.jobs)
+        except parallel.ParallelWorkerError as exc:
+            # No serial fallback: a degraded run would report wrong
+            # timings as successful. Surface the worker failure and die.
+            print(f"parallel run failed: {exc}", file=sys.stderr)
+            return 3
     if args.format == "json":
         # One JSON array for the whole invocation; --charts is a
         # text-rendering concern and does not apply here.
@@ -122,6 +136,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
     print(f"[{time.time() - start:.1f}s, jobs={args.jobs}]", file=sys.stderr)
     print(cache.stats_line(), file=sys.stderr)
+    if shards > 1:
+        print(SHARD_STATS.stats_line(), file=sys.stderr)
+        # One line per shard seam, each asserting the spliced monitor
+        # counters equal the scout checkpoint; CI greps these to prove
+        # the sharded run reproduced the serial stream exactly.
+        for line in SHARD_STATS.seam_lines:
+            print(line, file=sys.stderr)
     if check:
         return _report_checks(ctx)
     return 0

@@ -28,12 +28,41 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import traceback
 from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments._base import ExperimentContext, RunSettings
 from repro.sim.runcache import RunCache, load_or_run
 
 BASE_WORKLOADS = ("pmake", "multpgm", "oracle")
+
+
+class ParallelWorkerError(RuntimeError):
+    """A pool worker failed.
+
+    Raised in the parent with the worker's task and traceback attached.
+    Worker failures must surface and abort the invocation — a run that
+    quietly degraded (to serial, or to partial results) would report
+    wrong timings as successful and poison benchmark baselines.
+    """
+
+
+def _worker_boundary(task_label: str, fn, *args):
+    """Run ``fn`` inside a worker; wrap any failure with its task label.
+
+    The wrapped exception carries the worker-side traceback as text
+    (exception *causes* do not survive the pool's pickling), so the
+    parent can print what actually went wrong in the child.
+    """
+    try:
+        return fn(*args)
+    except ParallelWorkerError:
+        raise
+    except BaseException as exc:
+        raise ParallelWorkerError(
+            f"worker failed on {task_label}: {type(exc).__name__}: {exc}\n"
+            f"{traceback.format_exc()}"
+        ) from None
 
 
 def default_jobs() -> int:
@@ -62,12 +91,19 @@ def _cache_from_spec(spec) -> Optional[RunCache]:
 # method).
 # ----------------------------------------------------------------------
 def _simulate_base_workload(task):
+    workload = task[0]
+    return _worker_boundary(
+        f"base workload {workload!r}", _simulate_base_workload_inner, task
+    )
+
+
+def _simulate_base_workload_inner(task):
     workload, settings, spec = task
     cache = _cache_from_spec(spec)
     run, report = load_or_run(
         cache, workload,
         settings.horizon_ms, settings.warmup_ms, settings.seed,
-        analyze=True,
+        analyze=True, shards=getattr(settings, "shards", 1),
     )
     return workload, run, report
 
@@ -84,6 +120,12 @@ def _init_exhibit_worker(settings, spec, base_entries):
 
 
 def _build_exhibit(exhibit_id: str):
+    return _worker_boundary(
+        f"exhibit {exhibit_id!r}", _build_exhibit_inner, exhibit_id
+    )
+
+
+def _build_exhibit_inner(exhibit_id: str):
     from repro.experiments.registry import run_experiment
 
     ctx = _worker_ctx
@@ -101,6 +143,23 @@ def _build_exhibit(exhibit_id: str):
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
+def _pool_map(pool, fn, tasks, stage: str):
+    """``pool.map`` that surfaces every failure as ParallelWorkerError.
+
+    Covers failures the worker boundary cannot catch — a worker process
+    dying on import, an unpicklable result — as well as the wrapped
+    task-level errors. There is deliberately no serial fallback.
+    """
+    try:
+        return pool.map(fn, tasks, chunksize=1)
+    except ParallelWorkerError:
+        raise
+    except Exception as exc:
+        raise ParallelWorkerError(
+            f"{stage} pool failed: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
 def warm_base_runs(ctx: ExperimentContext, jobs: int) -> None:
     """Simulate + analyze the three base workloads, ``jobs`` at a time."""
     missing = [
@@ -114,8 +173,8 @@ def warm_base_runs(ctx: ExperimentContext, jobs: int) -> None:
         return
     tasks = [(w, ctx.settings, _cache_spec(ctx.cache)) for w in missing]
     with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-        for workload, run, report in pool.map(
-            _simulate_base_workload, tasks, chunksize=1
+        for workload, run, report in _pool_map(
+            pool, _simulate_base_workload, tasks, "base-run simulation"
         ):
             key = (workload, ())
             ctx._runs.setdefault(key, run)
@@ -171,8 +230,8 @@ def run_exhibits(
         initializer=_init_exhibit_worker,
         initargs=(ctx.settings, _cache_spec(ctx.cache), base_entries),
     ) as pool:
-        for exhibit_id, exhibit, runs_delta, reports_delta in pool.map(
-            _build_exhibit, todo, chunksize=1
+        for exhibit_id, exhibit, runs_delta, reports_delta in _pool_map(
+            pool, _build_exhibit, todo, "exhibit build"
         ):
             ctx.exhibit_cache[exhibit_id] = exhibit
             ctx.store_cached_exhibit(exhibit_id, exhibit)

@@ -19,6 +19,16 @@ from repro.common.params import CacheGeometry
 EMPTY = -1
 
 
+def set_index(block, num_sets):
+    """The set ``block`` maps to.
+
+    Shared by :class:`Cache` and the vectorized Figure 6 replay in
+    :mod:`repro.sim.sharded` (it works elementwise on numpy arrays), so
+    the two can never disagree about the mapping.
+    """
+    return block % num_sets
+
+
 @dataclass
 class EvictionInfo:
     """What `access` evicted, if anything."""
@@ -58,7 +68,7 @@ class Cache:
         the evicted block number, or ``EMPTY`` (-1) if the set had a free
         way.
         """
-        ways = self._ways[block % self.num_sets]
+        ways = self._ways[set_index(block, self.num_sets)]
         if block in self._present:
             # Hit: refresh LRU position (skip the list juggling when the
             # block is already MRU, the common case).
@@ -79,7 +89,7 @@ class Cache:
         """Remove ``block`` if resident; True if it was."""
         if block not in self._present:
             return False
-        self._ways[block % self.num_sets].remove(block)
+        self._ways[set_index(block, self.num_sets)].remove(block)
         self._present.discard(block)
         return True
 

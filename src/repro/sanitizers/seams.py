@@ -1,0 +1,69 @@
+"""Shard-seam crosscheck for the sharded analysis core.
+
+The sharded analyzer (:mod:`repro.sim.sharded`) splits a trace into
+chunks at checkpointed boundaries and splices the per-chunk results.
+Every checkpoint records the cumulative monitor transaction counters
+(instruction reads, data reads, writes, uncached escapes) at its entry
+index — the same quantities the monitor/checker crosscheck already
+validates end-to-end (``DREADs == bus_reads``, ``WRITEs ==
+bus_write_transactions``).
+
+:func:`verify_seams` asserts that the running sum of each chunk's
+counters lands exactly on the next checkpoint's cumulative values. A
+mismatch means a chunk saw a different entry stream than the serial
+scout pass did — a splice bug — and raises :class:`SeamMismatch`
+rather than letting a silently-divergent result escape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.decode import MONITOR_FIELDS
+
+
+@dataclass(frozen=True)
+class SeamRecord:
+    """One shard boundary: where it is and what must be true there."""
+
+    index: int                        # seam number (1-based chunk boundary)
+    entry_index: int                  # flat trace-entry index of the boundary
+    cumulative: Dict[str, int]        # monitor counters for entries [0, entry_index)
+
+
+class SeamMismatch(AssertionError):
+    """A spliced chunk's counters disagree with the scout checkpoint."""
+
+
+def verify_seams(
+    seams: Sequence[SeamRecord],
+    chunk_counters: Sequence[Dict[str, int]],
+) -> List[str]:
+    """Check every seam; return human-readable ``ok`` lines.
+
+    ``chunk_counters[i]`` holds the per-chunk monitor counters of chunk
+    ``i``; seam ``k`` sits between chunk ``k-1`` and chunk ``k``, so the
+    sum of chunks ``0..k-1`` must equal the checkpoint cumulative.
+    """
+    lines: List[str] = []
+    running = {name: 0 for name in MONITOR_FIELDS}
+    position = 0
+    for seam in seams:
+        while position < seam.index:
+            for name in MONITOR_FIELDS:
+                running[name] += chunk_counters[position].get(name, 0)
+            position += 1
+        for name in MONITOR_FIELDS:
+            expected = seam.cumulative.get(name, 0)
+            if running[name] != expected:
+                raise SeamMismatch(
+                    f"seam {seam.index} (entry {seam.entry_index}): "
+                    f"{name} spliced={running[name]} checkpoint={expected}"
+                )
+        lines.append(
+            f"seam {seam.index} @entry {seam.entry_index}: "
+            + " ".join(f"{name}={running[name]}" for name in MONITOR_FIELDS)
+            + " ok"
+        )
+    return lines

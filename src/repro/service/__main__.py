@@ -20,6 +20,7 @@ from repro.experiments._base import RunSettings
 from repro.experiments.parallel import default_jobs
 from repro.service.app import ServiceApp, ServiceConfig
 from repro.service.server import serve
+from repro.sim.sharded import resolve_shards
 
 _DEFAULTS = RunSettings()
 
@@ -34,6 +35,7 @@ def build_config(args) -> ServiceConfig:
         horizon_ms=args.horizon_ms,
         warmup_ms=args.warmup_ms,
         seed=args.seed,
+        shards=resolve_shards(args.shards),
     )
     return ServiceConfig(
         settings=settings,
@@ -85,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
              "$REPRO_BENCH_WARMUP_MS)",
     )
     parser.add_argument("--seed", type=int, default=_DEFAULTS.seed)
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard the analysis pass in build workers; output is "
+             "byte-identical to serial (default: $REPRO_SHARDS or 1)",
+    )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent run-cache location (default: $REPRO_CACHE_DIR "

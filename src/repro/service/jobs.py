@@ -80,8 +80,13 @@ class Job:
         return payload
 
 
-def build_exhibit_payload(exhibit_id: str, settings, cache_spec) -> dict:
-    """Worker-process entry point: build one exhibit, return its dict.
+def build_exhibit_payload(exhibit_id: str, settings, cache_spec):
+    """Worker-process entry point: build one exhibit.
+
+    Returns ``(Exhibit.to_dict() payload, shard stats dict | None)``;
+    the stats come from :data:`repro.sim.sharded.SHARD_STATS` when the
+    settings run the analysis sharded, and surface in the parent's
+    ``/metrics``.
 
     Runs in a :class:`ProcessPoolExecutor` child. The context is built
     fresh per call (child processes are reused across jobs, but a
@@ -92,14 +97,17 @@ def build_exhibit_payload(exhibit_id: str, settings, cache_spec) -> dict:
     from repro.experiments._base import ExperimentContext
     from repro.experiments.registry import run_experiment
     from repro.sim.runcache import RunCache
+    from repro.sim.sharded import SHARD_STATS
 
     cache = None
     if cache_spec is not None:
         cache_dir, enabled = cache_spec
         cache = RunCache(cache_dir=cache_dir, enabled=enabled)
     ctx = ExperimentContext(settings, cache=cache)
+    SHARD_STATS.reset()
     exhibit = run_experiment(exhibit_id, ctx)
-    return exhibit.to_dict()
+    shard_stats = SHARD_STATS.stats() if SHARD_STATS.shards else None
+    return exhibit.to_dict(), shard_stats
 
 
 class JobManager:
@@ -301,6 +309,13 @@ class JobManager:
         except Exception as exc:  # build raised in the worker process
             self._finish(job, FAILED, error=f"{type(exc).__name__}: {exc}")
         else:
+            # The default runner returns (payload, shard_stats); plain
+            # payloads from injected test runners pass through as-is.
+            shard_stats = None
+            if isinstance(payload, tuple) and len(payload) == 2:
+                payload, shard_stats = payload
+            if shard_stats and self.metrics is not None:
+                self.metrics.record_shard_stats(shard_stats)
             if job.state == RUNNING:  # not cancelled mid-flight
                 job.result = payload
                 self._finish(job, DONE)

@@ -9,6 +9,8 @@ everything the server measures:
   split by label values (request paths, response codes, job outcomes);
 - :class:`Gauge` — point-in-time values (queue depth, busy workers),
   either set explicitly or read from a callback at render time;
+- :class:`LabeledGauge` — gauges split by label values (per-shard
+  analysis throughput);
 - :class:`Histogram` — cumulative-bucket latency distributions with
   ``_bucket`` / ``_sum`` / ``_count`` series.
 
@@ -130,6 +132,50 @@ class Gauge:
         return [f"{self.name} {_format_value(self.value())}"]
 
 
+class LabeledGauge:
+    """Point-in-time values split by label values.
+
+    The plain :class:`Gauge` covers the label-less case; this covers
+    per-shard throughput and friends, where the label set is dynamic
+    (``set`` creates a series per distinct label tuple).
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str]):
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._values[self._key(labels)] = value
+
+    def value(self, **labels) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def _key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def samples(self) -> List[str]:
+        lines = []
+        for key in sorted(self._values):
+            labels = dict(zip(self.label_names, key))
+            lines.append(
+                f"{self.name}{_format_labels(labels)} "
+                f"{_format_value(self._values[key])}"
+            )
+        return lines
+
+
 class Histogram:
     """Cumulative-bucket histogram (Prometheus convention)."""
 
@@ -180,6 +226,9 @@ class MetricsRegistry:
 
     def gauge(self, name, help_text, callback=None) -> Gauge:
         return self._add(Gauge(name, help_text, callback))
+
+    def labeled_gauge(self, name, help_text, label_names) -> LabeledGauge:
+        return self._add(LabeledGauge(name, help_text, label_names))
 
     def histogram(self, name, help_text, buckets=DEFAULT_BUCKETS) -> Histogram:
         return self._add(Histogram(name, help_text, buckets))

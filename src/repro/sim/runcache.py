@@ -173,11 +173,18 @@ class RunCache:
         return "run-" + self._hash_material(material)
 
     def exhibit_key(self, exhibit_id: str, settings) -> str:
+        # cache_repr() excludes output-neutral knobs (the analysis shard
+        # count): identical output must map to an identical cache entry.
+        settings_repr = (
+            settings.cache_repr()
+            if hasattr(settings, "cache_repr")
+            else repr(settings)
+        )
         material = {
             "format": _FORMAT,
             "kind": "exhibit",
             "exhibit_id": exhibit_id,
-            "settings": repr(settings),
+            "settings": settings_repr,
             "version": _package_version(),
             "sources": source_digest(include_experiments=True),
         }
@@ -357,12 +364,15 @@ def load_or_run(
     seed: int,
     sim_kwargs: Optional[Dict[str, Any]] = None,
     analyze: bool = False,
+    shards: int = 1,
 ):
     """Fetch ``(TracedRun, AnalysisReport|None)``, simulating on a miss.
 
     With ``analyze=True`` the analysis report is computed (and cached)
     too; a cached run whose entry predates the report request is
-    upgraded in place.
+    upgraded in place. ``shards`` parallelizes the analysis pass only —
+    its output (and therefore the cache key and stored entry) is
+    identical for every shard count.
     """
     from repro.sanitizers import check_enabled_by_env
     from repro.sim._session import Simulation
@@ -395,13 +405,13 @@ def load_or_run(
             run, report = payload.get("run"), payload.get("report")
             if run is not None:
                 if analyze and report is None:
-                    report = _analyze(run)
+                    report = _analyze(run, shards)
                     cache.store(key, {"run": run, "report": report})
                 return run, report
     try:
         sim = Simulation(workload, seed=seed, **sim_kwargs)
         run = sim.run(horizon_ms, warmup_ms=warmup_ms)
-        report = _analyze(run) if analyze else None
+        report = _analyze(run, shards) if analyze else None
         if cache is not None and key is not None:
             cache.store(key, {"run": run, "report": report})
     finally:
@@ -410,7 +420,7 @@ def load_or_run(
     return run, report
 
 
-def _analyze(run):
+def _analyze(run, shards: int = 1):
     from repro.analysis.report import analyze_trace
 
-    return analyze_trace(run)
+    return analyze_trace(run, shards=shards)

@@ -92,3 +92,76 @@ def test_cli_parallel_output_matches_serial(tmp_path, capsys):
     parallel_out = capsys.readouterr().out
     assert parallel_out == serial_out
     assert "table3" in serial_out
+
+
+class TestWorkerFailureSurfacing:
+    """Worker failures must abort the run loudly — never degrade to serial."""
+
+    def test_worker_boundary_wraps_with_traceback(self):
+        def boom():
+            raise KeyError("inner detail")
+
+        with pytest.raises(parallel.ParallelWorkerError) as exc_info:
+            parallel._worker_boundary("exhibit 'x'", boom)
+        message = str(exc_info.value)
+        assert "exhibit 'x'" in message
+        assert "KeyError" in message
+        assert "Traceback" in message  # worker-side traceback ships as text
+        # No __cause__ chaining: causes do not survive pool pickling.
+        assert exc_info.value.__cause__ is None
+
+    def test_worker_boundary_passes_results_through(self):
+        assert parallel._worker_boundary("t", lambda a, b: a + b, 1, 2) == 3
+
+    def test_pool_map_wraps_pool_level_deaths(self):
+        class DeadPool:
+            def map(self, fn, tasks, chunksize=1):
+                raise ImportError("No module named 'numpy'")
+
+        with pytest.raises(
+            parallel.ParallelWorkerError, match="stage-x pool failed"
+        ) as exc_info:
+            parallel._pool_map(DeadPool(), None, [], "stage-x")
+        assert "ImportError" in str(exc_info.value)
+
+    def test_pool_map_reraises_worker_errors_verbatim(self):
+        class FailingPool:
+            def map(self, fn, tasks, chunksize=1):
+                raise parallel.ParallelWorkerError("worker failed on exhibit 'y'")
+
+        with pytest.raises(parallel.ParallelWorkerError, match="exhibit 'y'"):
+            parallel._pool_map(FailingPool(), None, [], "stage")
+
+    @pytest.mark.skipif(
+        __import__("multiprocessing").get_start_method() != "fork",
+        reason="in-parent monkeypatch reaches workers only under fork",
+    )
+    def test_failing_build_aborts_real_pool_run(self, monkeypatch):
+        def broken_inner(exhibit_id):
+            raise RuntimeError("simulated worker crash")
+
+        monkeypatch.setattr(parallel, "_build_exhibit_inner", broken_inner)
+        ctx = ExperimentContext(_SMALL)
+        with pytest.raises(
+            parallel.ParallelWorkerError, match="simulated worker crash"
+        ):
+            parallel.run_exhibits(ctx, _EXHIBITS, jobs=3)
+
+    def test_cli_exits_3_on_worker_failure(self, monkeypatch, capsys):
+        from repro.experiments import cli
+
+        def boom(ctx, targets, jobs=None):
+            raise parallel.ParallelWorkerError(
+                "worker failed on exhibit 'table3': ValueError: boom"
+            )
+
+        monkeypatch.setattr(cli.parallel, "run_exhibits", boom)
+        rc = cli.main([
+            "run", "table3", "--jobs", "2",
+            "--horizon-ms", "1", "--warmup-ms", "2", "--no-cache",
+        ])
+        assert rc == 3
+        captured = capsys.readouterr()
+        assert "parallel run failed" in captured.err
+        assert "table3" in captured.err
+        assert captured.out == ""  # no partial exhibit output
