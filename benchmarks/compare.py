@@ -17,8 +17,13 @@ changes — exactly what a code change alters. ``--absolute`` compares
 raw medians instead (meaningful when both files come from the same
 host, e.g. the same CI runner class).
 
-Benchmarks present in only one file are reported but never fail the
-gate (new benchmarks must be able to land together with their code).
+Benchmarks present only in the candidate are reported but never fail
+the gate (new benchmarks must be able to land together with their
+code). Benchmarks present in the baseline but **missing from the
+candidate** are a hard failure listing the missing names — a silently
+shrinking suite would let regressions hide by deleting their gate; use
+``--allow-missing`` when a benchmark is intentionally removed (land it
+together with the regenerated baseline).
 """
 
 from __future__ import annotations
@@ -60,6 +65,11 @@ def main(argv=None) -> int:
         "--absolute", action="store_true",
         help="compare raw medians instead of host-normalized ones",
     )
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="tolerate benchmarks present in the baseline but absent "
+             "from the candidate (intentional suite removals)",
+    )
     args = parser.parse_args(argv)
 
     base = load_medians(args.baseline)
@@ -88,14 +98,28 @@ def main(argv=None) -> int:
         print(f"  {name:<{width}}  {ratio:7.2f}x{flag}")
     for name in sorted(set(cand) - set(base)):
         print(f"  {name:<{width}}  (new, not gated)")
-    for name in sorted(set(base) - set(cand)):
-        print(f"  {name:<{width}}  (removed from suite)")
+    missing = sorted(set(base) - set(cand))
+    for name in missing:
+        note = "(removed from suite)" if args.allow_missing \
+            else "MISSING from candidate"
+        print(f"  {name:<{width}}  {note}")
 
+    failed = False
     if regressions:
+        failed = True
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
               f"+{args.threshold:.0%}:", file=sys.stderr)
         for name, ratio in regressions:
             print(f"  {name}: {ratio:.2f}x slower", file=sys.stderr)
+    if missing and not args.allow_missing:
+        failed = True
+        print(f"\nFAIL: {len(missing)} baseline benchmark(s) missing from "
+              f"the candidate run:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        print("  (pass --allow-missing if the removal is intentional)",
+              file=sys.stderr)
+    if failed:
         return 1
     print("\nOK: no benchmark regressed beyond the threshold")
     return 0

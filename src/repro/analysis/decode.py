@@ -329,6 +329,33 @@ class TraceAnalyzer:
         self._recons = pickle.loads(pickle.dumps(state.recons, -1))
         self._frame_is_text = dict(state.frame_is_text)
 
+    def seed_seam(self, seam_state: Optional[list]) -> None:
+        """Adopt a mixed-fidelity run's warm-state dump
+        (``TracedRun.seam_state``) before feeding its trace.
+
+        The trace of a mixed run begins at the atomic→detailed seam;
+        without the dump the reconstruction starts from empty caches and
+        blank classification history, so the first post-seam miss on
+        every block the atomic tier warmed would be classed COLD. The
+        dump carries exactly what :class:`ReconstructedCache` tracks —
+        resident blocks, ``ever_cached``, ``evicted_by``, ``invalidated``
+        — plus each CPU's application epoch, straight from the
+        simulator's own bookkeeping. Call on a freshly built analyzer
+        only (the structures are merged with ``update``, which assumes
+        they start empty).
+        """
+        if not seam_state:
+            return
+        for recon, entry in zip(self._recons, seam_state):
+            recon.app_epoch = entry["app_epoch"]
+            for cache, key in ((recon.icache, "icache"), (recon.dcache, "dcache")):
+                dump = entry[key]
+                for block in dump["resident"]:
+                    cache.lines[block % cache.num_sets] = block
+                cache.ever_cached.update(dump["ever_cached"])
+                cache.evicted_by.update(dump["evicted_by"])
+                cache.invalidated.update(dump["invalidated"])
+
     # ------------------------------------------------------------------
     # Time accounting
     # ------------------------------------------------------------------

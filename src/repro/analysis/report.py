@@ -205,6 +205,9 @@ def analyze_trace(
             block_bytes=params.block_bytes,
             keep_imiss_stream=keep_imiss_stream,
         )
+        # Mixed-fidelity runs: seed the reconstruction with the
+        # simulator's warm-state dump from the atomic→detailed seam.
+        analyzer.seed_seam(getattr(run, "seam_state", None))
         analysis = analyzer.analyze(
             run.trace, stats_from_tick=run.measure_from_cycles // CYCLES_PER_TICK
         )

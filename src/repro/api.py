@@ -19,6 +19,15 @@ inspect ``run.check_report``.
 tables/figures; ``exhibit("table1").to_json()`` is byte-identical to
 what ``repro.service`` serves for ``GET /exhibits/table1``.
 
+Engine fidelity tiers: pass ``fidelity="mixed"`` (optionally with
+``fast_forward=N`` atomic references) to fast-forward warmup on the
+functional-first engine and hand off to the detailed engine at the
+measurement seam; ``fidelity="atomic"`` runs functional-first
+throughout (no stall accounting, incompatible with ``check=``, raises
+:class:`UnsupportedFidelityError`). :func:`validate_workload` measures
+the mixed tier's statistical drift against a detailed run and asserts
+the configured error bounds.
+
 The old deep-import paths (``repro.sim.session``,
 ``repro.experiments.base``) still work but emit ``DeprecationWarning``.
 """
@@ -31,6 +40,14 @@ from typing import Optional, Union
 from repro.analysis.report import AnalysisReport, analyze_trace
 from repro.common.params import MachineParams
 from repro.experiments._base import Exhibit, ExperimentContext, RunSettings
+from repro.fidelity import (
+    FIDELITY_LEVELS,
+    UnsupportedFidelityError,
+    resolve_fast_forward,
+    resolve_fidelity,
+)
+from repro.fidelity.checkpoint import EngineCheckpoint
+from repro.fidelity.validate import FidelityValidation, validate_workload
 from repro.kernel.kernel import KernelTuning
 from repro.sanitizers import CheckReport, CheckRegistry
 from repro.service import (
@@ -48,8 +65,11 @@ __all__ = [
     "AnalysisReport",
     "CheckReport",
     "CheckRegistry",
+    "EngineCheckpoint",
     "Exhibit",
     "ExperimentContext",
+    "FIDELITY_LEVELS",
+    "FidelityValidation",
     "JobManager",
     "KernelTuning",
     "MachineParams",
@@ -60,15 +80,19 @@ __all__ = [
     "ServiceConfig",
     "Simulation",
     "TracedRun",
+    "UnsupportedFidelityError",
     "Workload",
     "analyze_trace",
     "exhibit",
     "list_exhibits",
     "make_workload",
     "report",
+    "resolve_fast_forward",
+    "resolve_fidelity",
     "run",
     "run_traced_workload",
     "serve",
+    "validate_workload",
 ]
 
 # Keywords run()/report() accept: the RunSettings fields (horizon_ms,

@@ -20,6 +20,12 @@ class Mode(enum.Enum):
     KERNEL = "kernel"
     IDLE = "idle"
 
+    # Members are singletons, so the C-level identity hash is exact and
+    # much cheaper than Enum's Python-level name hash — this enum keys
+    # the per-mode cycle buckets the processors update on every
+    # reference.
+    __hash__ = object.__hash__
+
 
 class RefDomain(enum.Enum):
     """Who issued a memory reference — the OS or the application.
@@ -31,6 +37,8 @@ class RefDomain(enum.Enum):
 
     OS = "os"
     APP = "app"
+
+    __hash__ = object.__hash__  # singleton identity hash (see Mode)
 
 
 class AccessKind(enum.Enum):
@@ -53,6 +61,8 @@ class MissClass(enum.Enum):
     INVAL = "inval"        # I-misses from I-cache invalidation on page reuse
     UNCACHED = "uncached"  # accesses that bypass the caches
 
+    __hash__ = object.__hash__  # singleton identity hash (see Mode)
+
     @property
     def is_displacement(self) -> bool:
         return self in (MissClass.DISPOS, MissClass.DISPAP)
@@ -67,6 +77,8 @@ class HighLevelOp(enum.Enum):
     SGINAP_SYSCALL = "sginap_syscall"
     OTHER_SYSCALL = "other_syscall"
     INTERRUPT = "interrupt"
+
+    __hash__ = object.__hash__  # singleton identity hash (see Mode)
 
     @property
     def is_syscall(self) -> bool:

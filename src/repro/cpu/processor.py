@@ -51,6 +51,10 @@ class Processor:
         self.current_pid: int = 0  # 0 = nobody (idle)
         self.mode_cycles: Dict[Mode, int] = {m: 0 for m in Mode}
         self.stall_cycles: Dict[Mode, int] = {m: 0 for m in Mode}
+        # Block-granularity references this CPU has issued, across all
+        # fidelity tiers; the fidelity layer reports per-tier reference
+        # throughput (refs/s of wall clock) from these.
+        self.refs_retired = 0
         self._block_bytes = params.block_bytes
         # When set, miss latencies are not charged as stall time: the
         # data was prefetched ahead of use ("if the data to be copied or
@@ -115,6 +119,14 @@ class Processor:
         block_bytes = self._block_bytes
         first = base // block_bytes
         last = (base + size - 1) // block_bytes
+        nblocks = last - first + 1
+        self.refs_retired += nblocks
+        if self.memsys.atomic:
+            self.advance(nblocks * IFETCH_ISSUE_CYCLES)
+            self._stall(self.memsys.atomic_ifetch_range(
+                self.cpu_id, first, nblocks, self.domain, self.app_epoch
+            ))
+            return
         fetch = self.memsys.ifetch
         for block in range(first, last + 1):
             self.advance(IFETCH_ISSUE_CYCLES)
@@ -122,49 +134,80 @@ class Processor:
 
     def ifetch_block(self, block: int) -> None:
         """Fetch one instruction block (loop bodies, idle loop)."""
+        self.refs_retired += 1
         self.advance(IFETCH_ISSUE_CYCLES)
+        m = self.memsys
+        if (m.atomic and m._icache_dm
+                and block in m.hierarchies[self.cpu_id].icache._present):
+            # Atomic-tier hit: zero stall, no state movement — skip the
+            # call into the memory system (same shortcut its own atomic
+            # path would take).
+            m.atomic_refs += 1
+            return
         self._stall(
-            self.memsys.ifetch(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
+            m.ifetch(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
         )
 
     def dread(self, addr: int) -> None:
         """Load from one data address."""
         if self.access_probe is not None:
             self.access_probe(self.cpu_id, addr, False)
+        self.refs_retired += 1
         self.advance(DTOUCH_ISSUE_CYCLES)
+        m = self.memsys
+        block = addr // self._block_bytes
+        if (m.atomic and m._dl2_dm
+                and block in m.hierarchies[self.cpu_id].dl2._present):
+            m.atomic_refs += 1  # atomic-tier hit (see ifetch_block)
+            return
         self._stall(
-            self.memsys.dread(
-                self.cycles, self.cpu_id, addr // self._block_bytes,
-                self.domain, self.app_epoch,
-            )
+            m.dread(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
         )
 
     def dwrite(self, addr: int) -> None:
         """Store to one data address."""
         if self.access_probe is not None:
             self.access_probe(self.cpu_id, addr, True)
+        self.refs_retired += 1
         self.advance(DTOUCH_ISSUE_CYCLES)
+        m = self.memsys
+        block = addr // self._block_bytes
+        if (m.atomic and m._dl2_dm
+                and block in m.hierarchies[self.cpu_id].dl2._present
+                and m._owner.get(block) == self.cpu_id):
+            m.atomic_refs += 1  # atomic-tier owned-hit (see ifetch_block)
+            return
         self._stall(
-            self.memsys.dwrite(
-                self.cycles, self.cpu_id, addr // self._block_bytes,
-                self.domain, self.app_epoch,
-            )
+            m.dwrite(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
         )
 
     def dread_block(self, block: int) -> None:
         if self.block_probe is not None:
             self.block_probe(self.cpu_id, block, False)
+        self.refs_retired += 1
         self.advance(DTOUCH_ISSUE_CYCLES)
+        m = self.memsys
+        if (m.atomic and m._dl2_dm
+                and block in m.hierarchies[self.cpu_id].dl2._present):
+            m.atomic_refs += 1  # atomic-tier hit (see ifetch_block)
+            return
         self._stall(
-            self.memsys.dread(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
+            m.dread(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
         )
 
     def dwrite_block(self, block: int) -> None:
         if self.block_probe is not None:
             self.block_probe(self.cpu_id, block, True)
+        self.refs_retired += 1
         self.advance(DTOUCH_ISSUE_CYCLES)
+        m = self.memsys
+        if (m.atomic and m._dl2_dm
+                and block in m.hierarchies[self.cpu_id].dl2._present
+                and m._owner.get(block) == self.cpu_id):
+            m.atomic_refs += 1  # atomic-tier owned-hit (see ifetch_block)
+            return
         self._stall(
-            self.memsys.dwrite(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
+            m.dwrite(self.cycles, self.cpu_id, block, self.domain, self.app_epoch)
         )
 
     def dtouch_range(self, base: int, size: int, write: bool = False) -> None:
@@ -177,12 +220,65 @@ class Processor:
         block_bytes = self._block_bytes
         first = base // block_bytes
         last = (base + size - 1) // block_bytes
+        if self.memsys.atomic and self.block_probe is None:
+            nblocks = last - first + 1
+            self.refs_retired += nblocks
+            self.advance(nblocks * DTOUCH_ISSUE_CYCLES)
+            self._stall(self.memsys.atomic_dtouch(
+                self.cpu_id, first, nblocks, write, self.domain, self.app_epoch
+            ))
+            return
         touch = self.dwrite_block if write else self.dread_block
         for block in range(first, last + 1):
             touch(block)
 
+    def copy_blocks(self, src_block: int, dst_block: int, nblocks: int,
+                    loop_block: int, refetch_every: int) -> None:
+        """bcopy's inner loop: read source, write destination, with the
+        loop-body refetch every ``refetch_every`` blocks."""
+        if nblocks <= 0:
+            return
+        if self.memsys.atomic and self.block_probe is None:
+            n_if = (nblocks + refetch_every - 1) // refetch_every
+            self.refs_retired += 2 * nblocks + n_if
+            self.advance(
+                2 * nblocks * DTOUCH_ISSUE_CYCLES + n_if * IFETCH_ISSUE_CYCLES
+            )
+            self._stall(self.memsys.atomic_sweep(
+                self.cpu_id, dst_block, nblocks, loop_block, refetch_every,
+                self.domain, self.app_epoch, src_block=src_block,
+            ))
+            return
+        for i in range(nblocks):
+            self.dread_block(src_block + i)
+            self.dwrite_block(dst_block + i)
+            if i % refetch_every == 0:
+                self.ifetch_block(loop_block)
+
+    def clear_blocks(self, dst_block: int, nblocks: int,
+                     loop_block: int, refetch_every: int) -> None:
+        """bclear's inner loop: write destination blocks with refetch."""
+        if nblocks <= 0:
+            return
+        if self.memsys.atomic and self.block_probe is None:
+            n_if = (nblocks + refetch_every - 1) // refetch_every
+            self.refs_retired += nblocks + n_if
+            self.advance(
+                nblocks * DTOUCH_ISSUE_CYCLES + n_if * IFETCH_ISSUE_CYCLES
+            )
+            self._stall(self.memsys.atomic_sweep(
+                self.cpu_id, dst_block, nblocks, loop_block, refetch_every,
+                self.domain, self.app_epoch,
+            ))
+            return
+        for i in range(nblocks):
+            self.dwrite_block(dst_block + i)
+            if i % refetch_every == 0:
+                self.ifetch_block(loop_block)
+
     def uncached_read(self, addr: int) -> None:
         """Cache-bypassing byte read (escape references)."""
+        self.refs_retired += 1
         self.advance(DTOUCH_ISSUE_CYCLES)
         self._stall(self.memsys.uncached_read(self.cycles, self.cpu_id, addr, self.domain))
 

@@ -33,18 +33,31 @@ class RunSettings:
     # wall-clock knob: the sharded core is byte-identical to serial, so
     # this field is excluded from cache keys (see :meth:`cache_repr`).
     shards: int = 1
+    # Engine fidelity tier (``--fidelity`` / ``REPRO_FIDELITY``) and the
+    # mixed tier's atomic reference budget (``--fast-forward`` /
+    # ``REPRO_FAST_FORWARD``). Unlike ``shards`` these change the run's
+    # bytes, so non-default values DO enter cache keys.
+    fidelity: str = "detailed"
+    fast_forward: int = 0
 
     def cache_repr(self) -> str:
         """The repr used for exhibit cache keys.
 
         Excludes ``shards`` (identical output ⇒ identical cache entry)
         and reproduces the pre-``shards`` dataclass repr byte for byte,
-        so existing warm caches stay valid.
+        so existing warm caches stay valid. Fidelity fields append only
+        at non-default values — same compatibility discipline, opposite
+        reason: the tier changes output, so it must key distinctly.
         """
+        extra = ""
+        if self.fidelity != "detailed":
+            extra += f", fidelity={self.fidelity!r}"
+        if self.fast_forward:
+            extra += f", fast_forward={self.fast_forward!r}"
         return (
             f"RunSettings(horizon_ms={self.horizon_ms!r}, "
             f"warmup_ms={self.warmup_ms!r}, seed={self.seed!r}, "
-            f"check={self.check!r})"
+            f"check={self.check!r}{extra})"
         )
 
 
@@ -96,9 +109,20 @@ class ExperimentContext:
         seed = overrides.get("seed", self.settings.seed)
         check = overrides.get("check", self.settings.check)
         shards = overrides.get("shards", getattr(self.settings, "shards", 1))
+        fidelity = overrides.get(
+            "fidelity", getattr(self.settings, "fidelity", "detailed")
+        )
+        fast_forward = overrides.get(
+            "fast_forward", getattr(self.settings, "fast_forward", 0)
+        )
         # Unchecked runs keep sim_kwargs == {} so PR-1 cache keys (and
-        # the byte-identity smoke) are untouched.
+        # the byte-identity smoke) are untouched; the same discipline
+        # keeps default-fidelity keys identical to pre-fidelity ones.
         sim_kwargs = {"check": check} if check else {}
+        if fidelity != "detailed":
+            sim_kwargs["fidelity"] = fidelity
+        if fast_forward:
+            sim_kwargs["fast_forward"] = fast_forward
         return horizon, warmup, seed, sim_kwargs, shards
 
     @staticmethod

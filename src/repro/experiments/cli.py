@@ -17,6 +17,7 @@ from repro.analysis.report import analyze_trace
 from repro.experiments import parallel
 from repro.experiments._base import ExperimentContext, RunSettings
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.fidelity import resolve_fast_forward, resolve_fidelity
 from repro.sanitizers import check_enabled_by_env, deep_check_enabled_by_env
 from repro.sim.runcache import RunCache
 from repro.sim.sharded import SHARD_STATS, resolve_shards
@@ -46,6 +47,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--shards", type=int, default=None, metavar="N",
         help="shard the analysis pass across N processes; output is "
              "byte-identical to serial (default: $REPRO_SHARDS or 1)",
+    )
+    run_cmd.add_argument(
+        "--fidelity", choices=("detailed", "atomic", "mixed"), default=None,
+        help="engine tier: 'detailed' (exact, the default), 'atomic' "
+             "(functional-first, no stall accounting), or 'mixed' "
+             "(atomic warmup, detailed measured window) "
+             "(default: $REPRO_FIDELITY or detailed)",
+    )
+    run_cmd.add_argument(
+        "--fast-forward", type=int, default=None, metavar="REFS",
+        help="mixed tier: hand off to the detailed engine after REFS "
+             "atomic references instead of at the warmup seam "
+             "(default: $REPRO_FAST_FORWARD or 0)",
     )
     run_cmd.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -94,6 +108,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("[--check forces jobs=1]", file=sys.stderr)
         args.jobs = 1
     shards = resolve_shards(args.shards)
+    fidelity = resolve_fidelity(args.fidelity)
+    fast_forward = resolve_fast_forward(args.fast_forward)
+    if check and fidelity == "atomic":
+        # Fail fast with the library's own message instead of dying
+        # workload-by-workload inside the runs.
+        print(
+            "error: --check requires fidelity 'detailed' or 'mixed'",
+            file=sys.stderr,
+        )
+        return 2
+    if fidelity == "atomic":
+        # Atomic runs carry no monitor trace, so every exhibit would
+        # render all-zero measured rows; refuse rather than print
+        # silently wrong tables.
+        print(
+            "error: exhibits need a traced run; use --fidelity mixed "
+            "for a fast-forwarded build (atomic is for "
+            "Simulation-level use)",
+            file=sys.stderr,
+        )
+        return 2
     cache = RunCache(cache_dir=args.cache_dir, enabled=not args.no_cache)
     ctx = ExperimentContext(
         RunSettings(
@@ -102,6 +137,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             check=check,
             shards=shards,
+            fidelity=fidelity,
+            fast_forward=fast_forward,
         ),
         cache=cache,
     )

@@ -10,7 +10,7 @@ from repro.experiments import (
     figure1, figure2, figure3, figure4, figure5, figure6, figure7,
     figure8, figure9, figure10, figure11,
     table1, table2, table3, table4, table5, table6, table7, table8,
-    table9, table10, table11, table12,
+    table9, table10, table11, table12, validate_fidelity,
 )
 from repro.experiments._base import Exhibit, ExperimentContext
 
@@ -35,7 +35,15 @@ ABLATION_EXPERIMENTS: Dict[str, object] = {
     )
 }
 
-EXPERIMENTS: Dict[str, object] = {**PAPER_EXPERIMENTS, **ABLATION_EXPERIMENTS}
+# Self-validation exhibits: not paper content, but reproduction
+# infrastructure proving its own error bounds (the fidelity tiers).
+VALIDATION_EXPERIMENTS: Dict[str, object] = {
+    module.EXHIBIT_ID: module for module in (validate_fidelity,)
+}
+
+EXPERIMENTS: Dict[str, object] = {
+    **PAPER_EXPERIMENTS, **ABLATION_EXPERIMENTS, **VALIDATION_EXPERIMENTS,
+}
 
 
 def exhibit_metadata(exhibit_id: str) -> Dict[str, object]:

@@ -91,11 +91,9 @@ class BlockOps:
             if self.prefetch:
                 proc.prefetch_mode = True
             try:
-                for i in range(nblocks):
-                    proc.dread_block(src_block + i)
-                    proc.dwrite_block(dst_block + i)
-                    if i % refetch_every == 0:
-                        proc.ifetch_block(loop_block)
+                proc.copy_blocks(
+                    src_block, dst_block, nblocks, loop_block, refetch_every
+                )
             finally:
                 proc.prefetch_mode = False
         k.instr.blockop_end(proc)
@@ -126,10 +124,7 @@ class BlockOps:
             if self.prefetch:
                 proc.prefetch_mode = True
             try:
-                for i in range(nblocks):
-                    proc.dwrite_block(dst_block + i)
-                    if i % refetch_every == 0:
-                        proc.ifetch_block(loop_block)
+                proc.clear_blocks(dst_block, nblocks, loop_block, refetch_every)
             finally:
                 proc.prefetch_mode = False
         k.instr.blockop_end(proc)

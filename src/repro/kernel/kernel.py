@@ -136,6 +136,16 @@ class Kernel:
         # fix up an image's frame table even when no live process maps it.
         self.images: Dict[str, Image] = {}
 
+        # Driver-replay log (repro.fidelity): when a list, every driver
+        # next() and process creation is appended as ("n"|"c", pid) so a
+        # checkpoint can rebuild the unpicklable workload generators by
+        # replaying the log against a fresh setup. ``_logged_processes``
+        # keeps every process created while logging — including ones
+        # later freed — because a parent's generator may still hold its
+        # child across the capture point.
+        self.driver_log = None
+        self._logged_processes: Dict[int, Process] = {}
+
         # Sleep/wakeup and timers.
         self._sleepers: Dict[object, List[Process]] = {}
         self._timers: List[Tuple[int, int, Process]] = []
@@ -291,6 +301,9 @@ class Kernel:
         image.refcount += 1
         self.register_image(image)
         self.processes[pid] = process
+        if self.driver_log is not None:
+            self.driver_log.append(("c", pid))
+            self._logged_processes[pid] = process
         return process
 
     def free_process(self, process: Process) -> None:

@@ -26,6 +26,10 @@ class BusOp(enum.Enum):
     WRITE = "write"          # cache fill for a write, or ownership upgrade
     UNCACHED_READ = "uncached_read"  # cache-bypassing read (escapes, PIO)
 
+    # Members are singletons; the C-level identity hash beats Enum's
+    # Python-level hash on the per-transaction monitor/analysis paths.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class BusTransaction:

@@ -85,6 +85,35 @@ class Cache:
         self._present.add(block)
         return victim
 
+    def fill(self, block: int) -> int:
+        """Fill a block the caller has already proven absent.
+
+        The atomic tier's batched paths test ``block in _present``
+        themselves before deciding a reference missed; this skips
+        ``access``'s redundant hit check. Returns the evicted block
+        number or ``EMPTY``.
+        """
+        ways = self._ways[block % self.num_sets]
+        if self.assoc == 1:
+            # Direct-mapped (the machine's own geometry): replace in
+            # place, no LRU juggling.
+            if ways:
+                victim = ways[0]
+                ways[0] = block
+                self._present.discard(victim)
+            else:
+                ways.append(block)
+                victim = EMPTY
+            self._present.add(block)
+            return victim
+        victim = EMPTY
+        if len(ways) >= self.assoc:
+            victim = ways.pop()
+            self._present.discard(victim)
+        ways.insert(0, block)
+        self._present.add(block)
+        return victim
+
     def invalidate(self, block: int) -> bool:
         """Remove ``block`` if resident; True if it was."""
         if block not in self._present:

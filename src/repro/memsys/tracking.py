@@ -105,6 +105,15 @@ class GroundTruth:
     def _table(self, kind: str) -> List[_CpuCacheTruth]:
         return self._instr if kind == INSTR else self._data
 
+    def cpu_truth(self, cpu: int, kind: str) -> _CpuCacheTruth:
+        """Direct handle on one CPU's classification state.
+
+        Used by the atomic tier's batched sweeps (which inline the
+        ``on_fill``/``on_eviction`` updates) and by the mixed-fidelity
+        seam dump that seeds the trace-side reconstruction.
+        """
+        return self._table(kind)[cpu]
+
     # ------------------------------------------------------------------
     # Hooks called by MemorySystem
     # ------------------------------------------------------------------
@@ -133,6 +142,16 @@ class GroundTruth:
 
     def record_uncached(self, domain: RefDomain) -> None:
         self.counts[(domain, DATA, MissClass.UNCACHED)] += 1
+
+    def warm_fill(self, cpu: int, kind: str, block: int) -> None:
+        """State-only fill: the atomic fidelity tier warming a cache.
+
+        Updates the warmth state exactly like :meth:`classify_and_record`
+        but classifies nothing and counts nothing, so fast-forwarded
+        references leave the Table 2 counters untouched while the
+        post-seam detailed window still classifies against true history.
+        """
+        self._table(kind)[cpu].on_fill(block)
 
     def record_eviction(
         self, cpu: int, kind: str, block: int, domain: RefDomain, app_epoch: int

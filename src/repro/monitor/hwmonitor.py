@@ -97,6 +97,10 @@ class HardwareMonitor:
         self.trace = Trace()
         self._segment: TraceSegment = TraceSegment(start_cycles=0)
         self.dropped = 0
+        # Provenance of a mixed-fidelity run (repro.fidelity): the cycle
+        # at which recording switched from the atomic fast-forward tier
+        # to the detailed tier. None for pure detailed/atomic runs.
+        self.seam_cycles = None
         bus.attach(self._snoop)
 
     # ------------------------------------------------------------------
@@ -131,6 +135,10 @@ class HardwareMonitor:
         segment = self._segment
         self.trace.segments.append(segment)
         return segment
+
+    def note_seam(self, now_cycles: int) -> None:
+        """Record the atomic→detailed hand-off point of a mixed run."""
+        self.seam_cycles = now_cycles
 
     def fill_fraction(self) -> float:
         """How full the current buffer is (the master's threshold test)."""

@@ -106,6 +106,31 @@ class LLSCChecker:
             self._reservation[family] = None   # consumed by the SC
 
     # ------------------------------------------------------------------
+    # Fidelity seam
+    # ------------------------------------------------------------------
+    def rebase(self) -> None:
+        """Resynchronize the shadow model to the simulator's state.
+
+        Called at a mixed-fidelity run's atomic→detailed seam
+        (repro.fidelity): the what-if machines kept running through the
+        atomic stretch while this checker's hooks were detached, so the
+        shadow copy-validity map and the per-family miss baseline are
+        re-seeded from the simulator before checking resumes. Any open
+        reservation from before the stretch is stale and dropped.
+        """
+        sim = self.sim
+        if sim is None:
+            return
+        self._valid = {
+            family: dict(copies) for family, copies in sim._valid_copy.items()
+        }
+        self._reservation = {}
+        self._model_misses = {
+            family: counts.cached_misses
+            for family, counts in sim.per_lock.items()
+        }
+
+    # ------------------------------------------------------------------
     # Divergence detection
     # ------------------------------------------------------------------
     def _compare(self, lock, cpu: int, cycles: int, write: bool) -> None:

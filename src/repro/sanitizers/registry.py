@@ -96,6 +96,32 @@ class CheckRegistry:
         self.llsc.syncbus = kernel.syncbus
         return self
 
+    def suspend(self, kernel, processors, memsys) -> None:
+        """Detach every hook point without tearing checker state down.
+
+        The mixed fidelity schedule (repro.fidelity) fast-forwards the
+        warmup atomically; the checkers assume detailed-mode event
+        streams, so they are unhooked for that stretch and re-attached
+        (via :meth:`resume`) at the seam.
+        """
+        kernel.checks = None
+        kernel.locks.checks = None
+        for proc in processors:
+            proc.access_probe = None
+            proc.block_probe = None
+        memsys.checker = None
+
+    def resume(self, kernel, processors, memsys) -> None:
+        """Re-attach at the atomic→detailed seam.
+
+        The LL/SC checker's shadow state is rebased to the simulator's
+        current lock state first — its whole-run reconciliations would
+        otherwise compare a detailed-window shadow against counters that
+        also saw the atomic stretch.
+        """
+        self.llsc.rebase()
+        self.install(kernel, processors, memsys)
+
     def finalize(self, end_cycles: int) -> CheckReport:
         """End-of-run sweeps; idempotent (cached runs re-finalize)."""
         if not self.finalized:

@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro.experiments._base import RunSettings
 from repro.experiments.parallel import default_jobs
+from repro.fidelity import resolve_fast_forward, resolve_fidelity
 from repro.service.app import ServiceApp, ServiceConfig
 from repro.service.server import serve
 from repro.sim.sharded import resolve_shards
@@ -36,6 +37,8 @@ def build_config(args) -> ServiceConfig:
         warmup_ms=args.warmup_ms,
         seed=args.seed,
         shards=resolve_shards(args.shards),
+        fidelity=resolve_fidelity(args.fidelity),
+        fast_forward=resolve_fast_forward(args.fast_forward),
     )
     return ServiceConfig(
         settings=settings,
@@ -91,6 +94,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None, metavar="N",
         help="shard the analysis pass in build workers; output is "
              "byte-identical to serial (default: $REPRO_SHARDS or 1)",
+    )
+    parser.add_argument(
+        "--fidelity", choices=("detailed", "mixed"), default=None,
+        help="default engine tier for builds; per-request override via "
+             "?fidelity= (default: $REPRO_FIDELITY or detailed; atomic "
+             "is Simulation-only — exhibits need a traced run)",
+    )
+    parser.add_argument(
+        "--fast-forward", type=int, default=None, metavar="REFS",
+        help="mixed tier: atomic references before the detailed hand-off "
+             "(default: $REPRO_FAST_FORWARD or 0)",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",

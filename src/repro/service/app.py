@@ -34,7 +34,8 @@ from urllib.parse import parse_qs
 
 from repro.experiments._base import Exhibit, ExperimentContext, RunSettings
 from repro.experiments.registry import EXPERIMENTS, list_exhibit_metadata
-from repro.service.jobs import JobManager, QueueFull
+from repro.fidelity import FIDELITY_LEVELS
+from repro.service.jobs import JobManager, QueueFull, apply_fidelity
 from repro.service.metrics import MetricsRegistry
 
 STATUS_TEXT = {
@@ -80,7 +81,7 @@ class ServiceMetrics:
     """The service's instrument set on one :class:`MetricsRegistry`."""
 
     def __init__(self, registry: MetricsRegistry, jobs: "JobManager",
-                 cache=None):
+                 cache=None, settings=None):
         self.registry = registry
         self.requests_total = registry.counter(
             "repro_http_requests_total",
@@ -145,6 +146,26 @@ class ServiceMetrics:
             "End-to-end trace-entry throughput of the most recent "
             "sharded analysis (scout + chunks + splice).",
         )
+        if settings is not None:
+            # The configured default engine tier, Prometheus-style: one
+            # gauge per tier label, 1 on the active one.
+            tier = getattr(settings, "fidelity", "detailed")
+            tier_gauge = registry.labeled_gauge(
+                "repro_fidelity_tier",
+                "Configured default engine fidelity tier "
+                "(1 on the active tier's label).",
+                ("tier",),
+            )
+            for level in FIDELITY_LEVELS:
+                tier_gauge.set(1.0 if level == tier else 0.0, tier=level)
+            registry.gauge(
+                "repro_fidelity_fast_forward_refs",
+                "Configured mixed-tier atomic fast-forward budget "
+                "(references; 0 = hand off at the warmup seam).",
+                callback=lambda: float(
+                    getattr(settings, "fast_forward", 0)
+                ),
+            )
         if cache is not None:
             for name, help_text in (
                 ("hits", "Run-cache entries served from disk."),
@@ -198,6 +219,7 @@ class ServiceApp:
         self.metrics = ServiceMetrics(
             MetricsRegistry(), self.jobs,
             cache=self.cache if self.cache.enabled else None,
+            settings=self.config.settings,
         )
         self.jobs.metrics = self.metrics
         self.started_at = time.time()
@@ -281,7 +303,33 @@ class ServiceApp:
         fmt = params.get("format", ["json"])[0]
         if fmt not in ("json", "text"):
             return self._error(400, "format must be 'json' or 'text'")
-        exhibit = self._warm_exhibit(exhibit_id)
+        # Engine-tier job parameters: ?fidelity=mixed&fast_forward=N
+        # builds this exhibit's variant on the requested tier (distinct
+        # cache entries — the tier changes the exhibit's bytes).
+        fidelity = params.get("fidelity", [None])[0]
+        if fidelity is None:
+            fidelity = getattr(self.config.settings, "fidelity", "detailed")
+        elif fidelity not in FIDELITY_LEVELS:
+            return self._error(
+                400,
+                f"unknown fidelity {fidelity!r}",
+                choices=sorted(FIDELITY_LEVELS),
+            )
+        if fidelity == "atomic":
+            # Atomic runs carry no monitor trace; an exhibit built from
+            # one would render all-zero measured rows.
+            return self._error(
+                400,
+                "exhibits need a traced run; use fidelity=mixed",
+                choices=["detailed", "mixed"],
+            )
+        try:
+            fast_forward = int(params.get("fast_forward", ["0"])[0] or 0)
+        except ValueError:
+            return self._error(400, "fast_forward must be an integer")
+        if not fast_forward:
+            fast_forward = getattr(self.config.settings, "fast_forward", 0)
+        exhibit = self._warm_exhibit(exhibit_id, fidelity, fast_forward)
         if exhibit is not None:
             self.metrics.exhibit_warm_hits.inc()
             if fmt == "text":
@@ -289,7 +337,9 @@ class ServiceApp:
             return Reply(200, JSON, (exhibit.to_json() + "\n").encode())
         self.metrics.exhibit_cold_misses.inc()
         try:
-            job, _created = self.jobs.submit(exhibit_id)
+            job, _created = self.jobs.submit(
+                exhibit_id, fidelity=fidelity, fast_forward=fast_forward
+            )
         except QueueFull:
             reply = self._error(
                 503, "job queue full",
@@ -309,21 +359,48 @@ class ServiceApp:
         reply.headers["Location"] = f"/jobs/{job.job_id}"
         return reply
 
-    def _warm_exhibit(self, exhibit_id: str) -> Optional[Exhibit]:
-        """The exhibit if it can be served without simulating, else None."""
-        cached = self.ctx.exhibit_cache.get(exhibit_id)
+    def _warm_exhibit(
+        self, exhibit_id: str, fidelity: str, fast_forward: int
+    ) -> Optional[Exhibit]:
+        """The exhibit if it can be served without simulating, else None.
+
+        Non-default engine tiers key a separate in-memory slot and a
+        separate disk entry (``RunSettings.cache_repr`` folds the tier
+        in), so a mixed-tier build never shadows the detailed exhibit.
+        """
+        settings = apply_fidelity(
+            self.config.settings, fidelity, fast_forward
+        )
+        if settings is self.config.settings:
+            memory_key = exhibit_id
+        else:
+            memory_key = f"{exhibit_id}@{fidelity}+{fast_forward}"
+        cached = self.ctx.exhibit_cache.get(memory_key)
         if cached is not None:
             return cached
-        payload = self.jobs.result_for_exhibit(exhibit_id)
+        payload = self.jobs.result_for_exhibit(
+            exhibit_id, fidelity=fidelity, fast_forward=fast_forward
+        )
         if payload is not None:
             exhibit = Exhibit.from_dict(payload)
-            self.ctx.exhibit_cache[exhibit_id] = exhibit
+            self.ctx.exhibit_cache[memory_key] = exhibit
             return exhibit
-        exhibit = self.ctx.load_cached_exhibit(exhibit_id)
+        exhibit = self._load_disk_exhibit(exhibit_id, settings)
         if exhibit is not None:
-            self.ctx.exhibit_cache[exhibit_id] = exhibit
+            self.ctx.exhibit_cache[memory_key] = exhibit
             return exhibit
         return None
+
+    def _load_disk_exhibit(self, exhibit_id: str, settings) -> Optional[Exhibit]:
+        if settings is self.config.settings:
+            return self.ctx.load_cached_exhibit(exhibit_id)
+        if not self.cache.enabled:
+            return None
+        payload = self.cache.load(self.cache.exhibit_key(exhibit_id, settings))
+        if payload is None:
+            return None
+        exhibit = payload.get("exhibit")
+        return exhibit if isinstance(exhibit, Exhibit) else None
 
     def _job(self, job_id: str) -> Reply:
         job = self.jobs.get(job_id)

@@ -24,6 +24,7 @@ job.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import itertools
 import time
 import uuid
@@ -58,11 +59,21 @@ class Job:
     job_id: str
     exhibit_id: str
     state: str = QUEUED
+    # Engine-tier overrides for this build (the service's configured
+    # settings otherwise). Jobs for the same exhibit at different tiers
+    # are distinct — they produce different bytes — so coalescing and
+    # result lookup key on (exhibit_id, fidelity, fast_forward).
+    fidelity: str = "detailed"
+    fast_forward: int = 0
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     result: Optional[dict] = None     # Exhibit.to_dict() payload
     error: Optional[str] = None
+
+    @property
+    def variant(self) -> tuple:
+        return (self.exhibit_id, self.fidelity, self.fast_forward)
 
     def to_dict(self) -> dict:
         payload = {
@@ -73,11 +84,25 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.fidelity != "detailed":
+            payload["fidelity"] = self.fidelity
+        if self.fast_forward:
+            payload["fast_forward"] = self.fast_forward
         if self.error is not None:
             payload["error"] = self.error
         if self.state == DONE:
             payload["location"] = f"/exhibits/{self.exhibit_id}"
         return payload
+
+
+def apply_fidelity(settings, fidelity: str, fast_forward: int):
+    """``settings`` with the job's engine-tier overrides applied."""
+    if (fidelity == getattr(settings, "fidelity", "detailed")
+            and fast_forward == getattr(settings, "fast_forward", 0)):
+        return settings
+    return dataclasses.replace(
+        settings, fidelity=fidelity, fast_forward=fast_forward
+    )
 
 
 def build_exhibit_payload(exhibit_id: str, settings, cache_spec):
@@ -195,23 +220,30 @@ class JobManager:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, exhibit_id: str) -> "tuple[Job, bool]":
+    def submit(
+        self,
+        exhibit_id: str,
+        fidelity: str = "detailed",
+        fast_forward: int = 0,
+    ) -> "tuple[Job, bool]":
         """Queue a build; returns ``(job, created)``.
 
         ``created`` is False when the request coalesced onto a job for
-        the same exhibit that is already queued or running. Raises
-        :class:`QueueFull` when the bounded queue has no room and
-        :class:`RuntimeError` after :meth:`close`.
+        the same exhibit *and engine tier* that is already queued or
+        running. Raises :class:`QueueFull` when the bounded queue has no
+        room and :class:`RuntimeError` after :meth:`close`.
         """
         if self._queue is None or self.closing:
             raise RuntimeError("job manager is not accepting work")
+        variant = (exhibit_id, fidelity, fast_forward)
         for job in self.jobs.values():
-            if job.exhibit_id == exhibit_id and job.state in (QUEUED, RUNNING):
+            if job.variant == variant and job.state in (QUEUED, RUNNING):
                 if self.metrics is not None:
                     self.metrics.jobs_total.inc(outcome="coalesced")
                 return job, False
         job = Job(job_id=f"job-{next(self._ids)}-{uuid.uuid4().hex[:8]}",
-                  exhibit_id=exhibit_id)
+                  exhibit_id=exhibit_id, fidelity=fidelity,
+                  fast_forward=fast_forward)
         try:
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
@@ -228,11 +260,17 @@ class JobManager:
     def get(self, job_id: str) -> Optional[Job]:
         return self.jobs.get(job_id)
 
-    def result_for_exhibit(self, exhibit_id: str) -> Optional[dict]:
-        """The most recent completed payload for ``exhibit_id``, if any."""
+    def result_for_exhibit(
+        self,
+        exhibit_id: str,
+        fidelity: str = "detailed",
+        fast_forward: int = 0,
+    ) -> Optional[dict]:
+        """The most recent completed payload for the exhibit variant."""
+        variant = (exhibit_id, fidelity, fast_forward)
         for job_id in reversed(self._finished_order):
             job = self.jobs.get(job_id)
-            if job is not None and job.exhibit_id == exhibit_id \
+            if job is not None and job.variant == variant \
                     and job.state == DONE:
                 return job.result
         return None
@@ -282,7 +320,9 @@ class JobManager:
         self.busy_workers += 1
         future = loop.run_in_executor(
             self._executor, self.runner,
-            job.exhibit_id, self.settings, self.cache_spec,
+            job.exhibit_id,
+            apply_fidelity(self.settings, job.fidelity, job.fast_forward),
+            self.cache_spec,
         )
         self._tasks_by_job[job.job_id] = future
         try:

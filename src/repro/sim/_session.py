@@ -21,6 +21,11 @@ from repro.common.params import MachineParams
 from repro.common.rng import substream
 from repro.common.types import HighLevelOp, Mode
 from repro.cpu.processor import Processor
+from repro.fidelity import (
+    UnsupportedFidelityError,
+    snapshot_window_counters,
+    validate_fidelity,
+)
 from repro.kernel.interrupts import DEVICE_CPU, NETWORK_CPU
 from repro.kernel.kernel import Kernel, KernelTuning
 from repro.kernel.vm import VmTuning
@@ -59,6 +64,17 @@ class TracedRun:
     # cache-content reconstruction (warmup), mirroring the paper's
     # tracing of a long-running system.
     measure_from_cycles: int = 0
+    # Fidelity provenance (repro.fidelity): which engine tier produced
+    # this run, where a mixed run's atomic→detailed seam sat, and how
+    # many references the atomic tier fast-forwarded through.
+    fidelity: str = "detailed"
+    seam_cycles: Optional[int] = None
+    fast_forwarded_refs: int = 0
+    # Mixed runs only: the simulator's own warm-state dump at the seam
+    # (resident blocks + classification history per CPU), used to seed
+    # the trace-side cache reconstruction, which otherwise starts cold
+    # and would inflate the COLD class of every post-seam miss.
+    seam_state: Optional[list] = None
 
     @property
     def kernel(self) -> Kernel:
@@ -100,9 +116,25 @@ class Simulation:
         monitor_strict: bool = False,
         layout=None,
         check: Union[bool, str] = False,
+        fidelity: str = "detailed",
+        fast_forward: int = 0,
+        record_drivers: bool = False,
     ):
         self.params = params if params is not None else MachineParams()
         self.seed = seed
+        self.fidelity = validate_fidelity(fidelity)
+        if fast_forward < 0:
+            raise ValueError("fast_forward must be >= 0")
+        self.fast_forward = int(fast_forward)
+        self.record_drivers = record_drivers
+        if fidelity == "atomic" and (check or check_enabled_by_env()):
+            raise UnsupportedFidelityError(
+                "check= requires detailed-mode event streams; the atomic "
+                "tier issues no bus transactions and charges no stalls, so "
+                "the sanitizers would report coverage the run never had. "
+                "Use fidelity='mixed' (checkers run inside the detailed "
+                "window) or fidelity='detailed'."
+            )
         if isinstance(workload, str):
             workload = make_workload(workload)
         self.workload = workload
@@ -176,6 +208,43 @@ class Simulation:
         self._tty_head = 0
         self.horizon_cycles = 0
 
+        # Fidelity schedule state (repro.fidelity). Setup above ran at
+        # full fidelity in every tier; the atomic flags flip only now.
+        # ``_instr_trace`` remembers the caller's trace choice so a mixed
+        # run can restore it at the seam.
+        self._instr_trace = trace
+        self._detail_active = self.fidelity == "detailed"
+        self._seam_deadline: Optional[int] = None
+        self.seam_cycles: Optional[int] = None
+        self.seam_state: Optional[list] = None
+        if not self._detail_active:
+            self.instr.enabled = False
+            self.memsys.atomic = True
+            if self.checks is not None:
+                # Mixed: checkers resume at the seam (registry.resume).
+                self.checks.suspend(self.kernel, self.processors, self.memsys)
+        # Resumable-loop state: the event heap lives on the instance so a
+        # checkpoint pickles mid-run and continue_run() resumes with
+        # identical ordering. ``_pending_entry`` is the popped heap entry
+        # being serviced when a checkpoint captures.
+        self._heap: List = []
+        self._seq = 0
+        self._pending_entry = None
+        self._loop_hooks = False
+        self._warmup_cycles = 0
+        self._measure_pending = False
+        self.measure_snapshot = None
+        # Checkpoint controls: a cache handle + key installed by
+        # load_or_run (mixed runs store their seam checkpoint there), and
+        # test hooks capturing an in-memory EngineCheckpoint at a cycle
+        # count (checkpoint_at) or when a predicate fires
+        # (checkpoint_when); the capture lands in captured_checkpoint.
+        self.checkpoint_cache = None
+        self.checkpoint_cache_key: Optional[str] = None
+        self.checkpoint_at: Optional[int] = None
+        self.checkpoint_when = None
+        self.captured_checkpoint = None
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
@@ -190,44 +259,211 @@ class Simulation:
         warmup = self.params.ms_to_cycles(warmup_ms)
         horizon = warmup + self.params.ms_to_cycles(horizon_ms)
         self.horizon_cycles = horizon
+        self._warmup_cycles = warmup
+        self._measure_pending = True
 
         rng = substream(self.seed, "tty")
         self._tty_queue = sorted(self.workload.tty_events(horizon, rng))
         self._tty_head = 0
 
-        # Record from t=0 so the analysis can reconstruct cache contents
-        # across the whole run, but report statistics only for the
-        # post-warmup window (equivalent to the paper's continuous
-        # tracing of an already-running system).
-        self._begin_tracing(0)
+        if self.record_drivers or not self._detail_active:
+            # Log driver next()s and forks so a checkpoint taken mid-run
+            # can replay the unpicklable generators (repro.fidelity).
+            self.kernel.driver_log = []
 
-        heap = [(proc.cycles, i, i) for i, proc in enumerate(self.processors)]
-        heapq.heapify(heap)
-        seq = len(heap)
+        if self._detail_active:
+            # Record from t=0 so the analysis can reconstruct cache
+            # contents across the whole run, but report statistics only
+            # for the post-warmup window (equivalent to the paper's
+            # continuous tracing of an already-running system).
+            self._begin_tracing(0)
+        elif self.fidelity == "mixed":
+            # Switch to detailed a little before the measurement window
+            # opens, so escapes and mode transitions settle; a nonzero
+            # fast_forward budget can pull the seam earlier still.
+            margin = min(2 * self._clock_period, warmup // 4)
+            self._seam_deadline = max(0, warmup - margin)
+
+        self._heap = [(proc.cycles, i, i) for i, proc in enumerate(self.processors)]
+        heapq.heapify(self._heap)
+        self._seq = len(self._heap)
+        self._update_loop_hooks()
+        return self._run_loop()
+
+    def _run_loop(self) -> TracedRun:
+        """Drain the event heap to the horizon; resumable at any pop."""
+        heap = self._heap
         while heap:
-            _, _, cpu = heapq.heappop(heap)
+            entry = heapq.heappop(heap)
+            cpu = entry[2]
             proc = self.processors[cpu]
-            if proc.cycles >= horizon:
+            if proc.cycles >= self.horizon_cycles:
                 continue  # this CPU is done; drain the rest
+            if self._loop_hooks:
+                self._pending_entry = entry
+                self._loop_hook(proc)
             self._step(cpu)
-            seq += 1
-            heapq.heappush(heap, (proc.cycles, seq, cpu))
+            self._seq += 1
+            heapq.heappush(heap, (proc.cycles, self._seq, cpu))
         end = max(proc.cycles for proc in self.processors)
         self.master.finish(end)
         if self.checks is not None:
             self.checks.finalize(end)
         return TracedRun(
             self.workload.name, self.params, self.monitor.trace, self,
-            measure_from_cycles=warmup,
+            measure_from_cycles=self._warmup_cycles,
+            fidelity=self.fidelity,
+            seam_cycles=self.seam_cycles,
+            fast_forwarded_refs=self.memsys.atomic_refs,
+            seam_state=self.seam_state,
         )
 
-    def _begin_tracing(self, now_cycles: int) -> None:
+    def continue_run(self, horizon_ms: Optional[float] = None) -> TracedRun:
+        """Resume a restored :class:`EngineCheckpoint` to the horizon.
+
+        Only meaningful on a simulation rebuilt by
+        ``EngineCheckpoint.restore()``; pass ``horizon_ms`` to run the
+        warmed state out to a different horizon than the capturing run's
+        (valid for workloads without a horizon-derived tty schedule).
+        """
+        if not self._heap:
+            raise RuntimeError(
+                "continue_run() resumes a restored checkpoint; this "
+                "simulation has no in-flight event queue"
+            )
+        if horizon_ms is not None:
+            self.horizon_cycles = self._warmup_cycles + self.params.ms_to_cycles(
+                horizon_ms
+            )
+        return self._run_loop()
+
+    # ------------------------------------------------------------------
+    # Slice-boundary hooks (fidelity seam, checkpoints, window snapshot)
+    # ------------------------------------------------------------------
+    def _update_loop_hooks(self) -> None:
+        self._loop_hooks = (
+            self._measure_pending
+            or self.checkpoint_at is not None
+            or self.checkpoint_when is not None
+            or (self.fidelity == "mixed" and not self._detail_active)
+        )
+
+    def _loop_hook(self, proc: Processor) -> None:
+        now = proc.cycles
+        if not self._detail_active and self.fidelity == "mixed" and (
+            now >= self._seam_deadline
+            or (
+                self.fast_forward > 0
+                and self.memsys.atomic_refs >= self.fast_forward
+            )
+        ):
+            self._switch_to_detail()
+        if self._measure_pending and now >= self._warmup_cycles:
+            self._measure_pending = False
+            self.measure_snapshot = snapshot_window_counters(self)
+        when = self.checkpoint_when
+        if when is not None and when(self):
+            self.checkpoint_when = None
+            self._capture_checkpoint_blob(now)
+        at = self.checkpoint_at
+        if at is not None and now >= at:
+            self.checkpoint_at = None
+            self._capture_checkpoint_blob(now)
+        self._update_loop_hooks()
+
+    def _switch_to_detail(self) -> None:
+        """The atomic→detailed seam of a mixed-fidelity run.
+
+        Aligns every CPU's clock (so the seam's trace-start state dump is
+        tick-monotone), stores the seam checkpoint if a cache is
+        attached, then flips the machine to full fidelity and starts the
+        monitor with the standard trace-start protocol.
+        """
+        resume_at = max(p.cycles for p in self.processors)
+        for p in self.processors:
+            mode = p.mode
+            p.set_mode(Mode.IDLE)
+            p.advance_to(resume_at)
+            p.set_mode(mode)
+        if self.checkpoint_cache is not None:
+            from repro.fidelity.checkpoint import capture
+
+            checkpoint = capture(self, resume_at)
+            self.checkpoint_cache.store(
+                self.checkpoint_cache_key, {"checkpoint": checkpoint}
+            )
+            self.checkpoint_cache = None
+            self.checkpoint_cache_key = None
+        if not self.record_drivers:
+            self.kernel.driver_log = None
+        # The atomic tier keeps only the bus-visible levels (I-cache, L2)
+        # warm; flush the untracked first-level data caches so the L1⊆L2
+        # inclusion invariant holds when detailed accesses resume. (They
+        # are empty in practice — mixed runs are atomic from cycle 0 —
+        # but the seam must not depend on that.)
+        for hierarchy in self.memsys.hierarchies:
+            hierarchy.dl1.invalidate_all()
+        self.memsys.atomic = False
+        self.instr.enabled = self._instr_trace
+        self._detail_active = True
+        self.seam_cycles = resume_at
+        self.seam_state = self._dump_seam_state()
+        self.monitor.note_seam(resume_at)
+        if self.checks is not None:
+            self.checks.resume(self.kernel, self.processors, self.memsys)
+        self._begin_tracing(resume_at, seam=True)
+
+    def _capture_checkpoint_blob(self, now: int) -> None:
+        from repro.fidelity.checkpoint import capture
+
+        self.captured_checkpoint = capture(self, now)
+
+    def _dump_seam_state(self) -> list:
+        """Per-CPU warm-state dump for the trace analyzer.
+
+        The mixed-fidelity trace begins at the seam, so the trace-driven
+        reconstruction (:mod:`repro.analysis.reconstruct`) would start
+        from empty caches and blank classification history — every first
+        post-seam miss on a warmed block would look COLD. This dump
+        carries the simulator's own answer across the seam: resident
+        blocks and the ``ever_cached``/``evicted_by``/``invalidated``
+        classification state for the two bus-visible caches, plus each
+        CPU's application epoch. The fields map one-to-one onto
+        :class:`repro.analysis.reconstruct.ReconstructedCache`.
+        """
+        from repro.memsys.tracking import DATA, INSTR
+
+        state = []
+        truth = self.memsys.truth
+        for proc, hierarchy in zip(self.processors, self.memsys.hierarchies):
+            entry = {"app_epoch": proc.app_epoch}
+            for key, cache, kind in (
+                ("icache", hierarchy.icache, INSTR),
+                ("dcache", hierarchy.dl2, DATA),
+            ):
+                cpu_truth = truth.cpu_truth(proc.cpu_id, kind)
+                entry[key] = {
+                    "resident": sorted(cache.resident_blocks),
+                    "ever_cached": set(cpu_truth.ever_cached),
+                    "evicted_by": dict(cpu_truth.evicted_by),
+                    "invalidated": set(cpu_truth.invalidated),
+                }
+            state.append(entry)
+        return state
+
+    def _begin_tracing(self, now_cycles: int, seam: bool = False) -> None:
         """Trace-start protocol: dump machine state, then record.
 
         The real system call "dumps the contents of the TLBs and some
         process state onto the trace buffer when tracing starts"
         (Section 2.2) so the postprocessor can translate addresses from
         the first entry on.
+
+        ``seam`` marks the mixed-fidelity atomic→detailed hand-off: CPUs
+        sitting in the idle loop re-announce it (their original
+        ``idle_enter`` fired while escapes were disabled), so the decoder
+        does not misattribute their post-seam idle time. Detailed runs
+        never pass ``seam`` — their trace stays byte-identical.
         """
         self.master.start(now_cycles)
         for proc in self.processors:
@@ -237,6 +473,8 @@ class Simulation:
                 self.instr.tlb_update(
                     proc, 0, entry.vpage, entry.frame, entry.pid, entry.is_text
                 )
+            if seam and self._idle_flag[proc.cpu_id]:
+                self.instr.idle_enter(proc)
 
     # ------------------------------------------------------------------
     # One slice on one CPU
@@ -245,7 +483,7 @@ class Simulation:
         proc = self.processors[cpu]
         kernel = self.kernel
 
-        if cpu == 0 and self.master.due(proc.cycles):
+        if cpu == 0 and self._detail_active and self.master.due(proc.cycles):
             self._service_master(proc)
         if cpu == DEVICE_CPU:
             self._deliver_device_events(proc)

@@ -387,6 +387,15 @@ def load_or_run(
         sim_kwargs["check"] = True
     elif not sim_kwargs.get("check", False):
         sim_kwargs.pop("check", None)
+    # Fidelity is folded INTO the run key (unlike shards: the tier
+    # changes the run's bytes). The defaults normalize away so every
+    # pre-existing detailed entry stays valid, and detailed/atomic/mixed
+    # entries can never cross-reuse.
+    if sim_kwargs.get("fidelity", "detailed") == "detailed":
+        sim_kwargs.pop("fidelity", None)
+    if not sim_kwargs.get("fast_forward", 0):
+        sim_kwargs.pop("fast_forward", None)
+    mixed = sim_kwargs.get("fidelity") == "mixed"
     key = None
     claimed = False
     if cache is not None:
@@ -409,8 +418,36 @@ def load_or_run(
                     cache.store(key, {"run": run, "report": report})
                 return run, report
     try:
-        sim = Simulation(workload, seed=seed, **sim_kwargs)
-        run = sim.run(horizon_ms, warmup_ms=warmup_ms)
+        run = None
+        if mixed and cache is not None and cache.enabled:
+            # Seam-checkpoint reuse: a prior mixed run at the same
+            # warmed-state key already paid for the fast-forward —
+            # restore it and run only the detailed window.
+            from repro.fidelity.checkpoint import load_checkpoint
+
+            restored = load_checkpoint(
+                cache, workload, horizon_ms, warmup_ms, seed,
+                sim_kwargs.get("fast_forward", 0), sim_kwargs,
+            )
+            if restored is not None:
+                run = restored.continue_run(horizon_ms)
+        if run is None:
+            sim = Simulation(workload, seed=seed, **sim_kwargs)
+            if mixed and cache is not None and cache.enabled:
+                from repro.fidelity.checkpoint import (
+                    checkpoint_key,
+                    tty_dependent,
+                )
+
+                sim.checkpoint_cache = cache
+                sim.checkpoint_cache_key = checkpoint_key(
+                    cache, workload, warmup_ms, seed, sim.fast_forward,
+                    sim_kwargs,
+                    horizon_ms=(
+                        horizon_ms if tty_dependent(sim.workload) else None
+                    ),
+                )
+            run = sim.run(horizon_ms, warmup_ms=warmup_ms)
         report = _analyze(run, shards) if analyze else None
         if cache is not None and key is not None:
             cache.store(key, {"run": run, "report": report})

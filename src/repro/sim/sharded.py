@@ -182,6 +182,9 @@ class _ChunkConfig:
     end_tick: int
     layout: object
     datamap: object
+    # Mixed-fidelity runs: the simulator's warm-state dump at the
+    # atomic→detailed seam (TracedRun.seam_state); None otherwise.
+    seam_state: object = None
 
 
 _chunk_config: Optional[_ChunkConfig] = None
@@ -225,6 +228,10 @@ def _analyze_chunk(job) -> Tuple[int, TraceAnalysis, int, float]:
     )
     if state is not None:
         analyzer.restore(state)
+    else:
+        # Chunk 0 starts from the trace head: seed the seam warm state
+        # (later chunks inherit it through the scout's checkpoints).
+        analyzer.seed_seam(config.seam_state)
     analyzer.feed(entries)
     if is_last:
         analyzer.finish(config.end_tick)
@@ -312,6 +319,7 @@ def sharded_analysis(
         end_tick=end_tick,
         layout=run.kernel.layout,
         datamap=run.kernel.datamap,
+        seam_state=getattr(run, "seam_state", None),
     )
 
     if boundaries is None:
@@ -335,6 +343,7 @@ def sharded_analysis(
         state_only=True,
         stats_from_tick=window_start,
     )
+    scout.seed_seam(config.seam_state)
     previous = 0
     for cut in cuts:
         scout.feed(entries[previous:cut])

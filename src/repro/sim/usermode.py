@@ -35,6 +35,7 @@ USER_LOCK_ACQUIRE_CYCLES = 40   # uncached test + set
 USER_LOCK_RELEASE_CYCLES = 20
 
 _IFETCH_ISSUE = 4  # mirrors processor.IFETCH_ISSUE_CYCLES
+_DTOUCH_ISSUE = 1  # mirrors processor.DTOUCH_ISSUE_CYCLES
 
 
 @dataclass
@@ -78,6 +79,8 @@ class UserEngine:
                 return SWITCHED
             action = process.pending_action
             if action is None:
+                if self.k.driver_log is not None:
+                    self.k.driver_log.append(("n", process.pid))
                 try:
                     action = next(process.driver)
                 except StopIteration:
@@ -237,6 +240,21 @@ class UserEngine:
         bpp = self._blocks_per_page
         consumed = 0
         cursor = process.sweep_cursor
+        advance = proc.advance
+        # Atomic-tier hit fast path: a resident (and, for writes, owned)
+        # block costs zero stall, so the whole processor/memsys call
+        # chain collapses to the bookkeeping below. Hoisted per slice —
+        # the seam can only flip `memsys.atomic` between slices. Only
+        # direct-mapped geometries prove residency by membership, and a
+        # deep-check probe must see every block reference.
+        memsys = proc.memsys
+        atomic = memsys.atomic and proc.block_probe is None
+        if atomic:
+            hier = memsys.hierarchies[proc.cpu_id]
+            ipresent = hier.icache._present if memsys._icache_dm else ()
+            dpresent = hier.dl2._present if memsys._dl2_dm else ()
+            owner_get = memsys._owner.get
+            cpu_id = proc.cpu_id
         for _ in range(n_touches):
             if rng.random() < cfg.jump_probability:
                 cursor = rng.randrange(len(hot))
@@ -249,13 +267,34 @@ class UserEngine:
                 process.sweep_cursor = cursor
                 return consumed, True
             pblock = frame * bpp + block
-            if is_text:
+            if atomic:
+                if is_text:
+                    if pblock in ipresent:
+                        memsys.atomic_refs += 1
+                        proc.refs_retired += 1
+                        advance(_IFETCH_ISSUE + gap)
+                        consumed += gap + _IFETCH_ISSUE
+                        continue
+                    proc.ifetch_block(pblock)
+                elif pblock in dpresent and (
+                    not write or owner_get(pblock) == cpu_id
+                ):
+                    memsys.atomic_refs += 1
+                    proc.refs_retired += 1
+                    advance(_DTOUCH_ISSUE + gap)
+                    consumed += gap + _IFETCH_ISSUE
+                    continue
+                elif write:
+                    proc.dwrite_block(pblock)
+                else:
+                    proc.dread_block(pblock)
+            elif is_text:
                 proc.ifetch_block(pblock)
             elif write:
                 proc.dwrite_block(pblock)
             else:
                 proc.dread_block(pblock)
-            proc.advance(gap)
+            advance(gap)
             consumed += gap + _IFETCH_ISSUE
         process.sweep_cursor = cursor
         return consumed, False

@@ -359,6 +359,21 @@ class TestServiceApp:
         reply = _app(tmp_path).handle("GET", "/exhibits/table1", "format=xml")
         assert reply.status == 400
 
+    def test_bad_fidelity_rejected(self, tmp_path):
+        app = _app(tmp_path)
+        reply = app.handle("GET", "/exhibits/table1", "fidelity=turbo")
+        assert reply.status == 400
+        assert "mixed" in reply.json()["choices"]
+        # Atomic runs carry no trace — exhibits built from one would be
+        # all-zero, so the tier is rejected at the HTTP boundary too.
+        reply = app.handle("GET", "/exhibits/table1", "fidelity=atomic")
+        assert reply.status == 400
+        assert reply.json()["choices"] == ["detailed", "mixed"]
+        reply = app.handle(
+            "GET", "/exhibits/table1", "fidelity=mixed&fast_forward=nope"
+        )
+        assert reply.status == 400
+
     def test_cold_then_poll_then_warm(self, tmp_path):
         async def scenario():
             app = _app(tmp_path)
