@@ -1,0 +1,13 @@
+"""Benchmark the CPU-scaling sweep: Multpgm across machine presets.
+
+The sweep is pinned to the 4- and 8-CPU geometries so the benchmark
+times a fixed amount of work regardless of the default ladder top.
+"""
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_bench_scaling_8cpu(benchmark, ctx, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALING_CPUS", "4 8")
+    exhibit = run_exhibit(benchmark, ctx, "figure-scaling")
+    assert [row[1] for row in exhibit.rows] == [4, 8]

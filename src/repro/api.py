@@ -9,6 +9,14 @@ breaking callers:
 >>> run = api.run("pmake", horizon_ms=5.0, warmup_ms=30.0)
 >>> report = api.report("pmake", horizon_ms=5.0, warmup_ms=30.0)
 
+Machine selection is first-class: pass ``machine="cpus16"`` (a preset
+name from :mod:`repro.machines`, or a full :class:`MachineParams`) to
+:func:`run`, :func:`report` and :func:`exhibit` to target a scaled
+geometry; the 4D/340 (``"4d340"``) stays the default and keys
+identically to pre-preset runs. Bare ``params=`` still works but emits
+``DeprecationWarning`` — it bypasses the preset registry and therefore
+the named cache keys.
+
 :func:`run` and :func:`report` validate their keyword arguments against
 :class:`RunSettings` plus the :class:`Simulation` constructor, so a typo
 fails loudly instead of being swallowed. For checked runs pass
@@ -35,6 +43,7 @@ The old deep-import paths (``repro.sim.session``,
 from __future__ import annotations
 
 import inspect
+import warnings
 from typing import Optional, Union
 
 from repro.analysis.report import AnalysisReport, analyze_trace
@@ -49,6 +58,12 @@ from repro.fidelity import (
 from repro.fidelity.checkpoint import EngineCheckpoint
 from repro.fidelity.validate import FidelityValidation, validate_workload
 from repro.kernel.kernel import KernelTuning
+from repro.machines import (
+    MACHINES,
+    MachinePreset,
+    machine_for_cpus,
+    resolve_machine,
+)
 from repro.sanitizers import CheckReport, CheckRegistry
 from repro.service import (
     JobManager,
@@ -72,7 +87,9 @@ __all__ = [
     "FidelityValidation",
     "JobManager",
     "KernelTuning",
+    "MACHINES",
     "MachineParams",
+    "MachinePreset",
     "MetricsRegistry",
     "RunCache",
     "RunSettings",
@@ -85,10 +102,12 @@ __all__ = [
     "analyze_trace",
     "exhibit",
     "list_exhibits",
+    "machine_for_cpus",
     "make_workload",
     "report",
     "resolve_fast_forward",
     "resolve_fidelity",
+    "resolve_machine",
     "run",
     "run_traced_workload",
     "serve",
@@ -121,19 +140,33 @@ def run(
     workload: Union[str, Workload],
     *,
     check: Union[bool, str] = False,
+    machine: Optional[Union[str, MachineParams]] = None,
     **settings,
 ) -> TracedRun:
     """Build a machine, run ``workload`` under the monitor, return the run.
 
     Accepts the :class:`RunSettings` fields (``horizon_ms``,
     ``warmup_ms``, ``seed``) and the :class:`Simulation` keyword
-    arguments (``params``, ``tuning``, ``layout``, ...); anything else
-    raises :class:`TypeError` listing the valid names. With
+    arguments (``machine``, ``tuning``, ``layout``, ...); anything else
+    raises :class:`TypeError` listing the valid names. ``machine`` is a
+    preset name from :data:`MACHINES` (``"cpus16"``) or a full
+    :class:`MachineParams`; bare ``params=`` is deprecated. With
     ``check=True`` the sanitizers run and ``run.check_report`` carries
     their verdict; ``check="deep"`` additionally attributes
     ``dread_block``/``dwrite_block`` sweeps to kernel structures.
     """
     _validate(settings)
+    if "params" in settings:
+        warnings.warn(
+            "params= is deprecated; pass machine= "
+            "(a preset name or MachineParams)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if machine is not None:
+            raise TypeError("pass machine= or params=, not both")
+    if machine is not None:
+        settings["machine"] = machine
     defaults = RunSettings()
     horizon = settings.pop("horizon_ms", defaults.horizon_ms)
     warmup = settings.pop("warmup_ms", defaults.warmup_ms)
@@ -151,19 +184,23 @@ def report(
     workload: Union[str, Workload],
     *,
     run: Optional[TracedRun] = None,
+    machine: Optional[Union[str, MachineParams]] = None,
     **settings,
 ) -> AnalysisReport:
     """Run ``workload`` (or analyze ``run``) and return its analysis.
 
-    Same keyword validation as :func:`run`; pass an existing
-    :class:`TracedRun` as ``run=`` to analyze it without re-simulating.
-    ``shards=N`` parallelizes the analysis pass (byte-identical output).
+    Same keyword validation (and ``machine=`` selection) as :func:`run`;
+    pass an existing :class:`TracedRun` as ``run=`` to analyze it
+    without re-simulating. ``shards=N`` parallelizes the analysis pass
+    (byte-identical output).
     """
     shards = settings.pop("shards", 1)
     if run is None:
         _validate(settings)
         check = settings.pop("check", False)
-        run = _run(workload, check=check, **settings)
+        run = _run(workload, check=check, machine=machine, **settings)
+    elif machine is not None:
+        raise TypeError("machine= selects a run; pass either run= or machine=")
     return analyze_trace(run, shards=shards)
 
 
@@ -179,8 +216,10 @@ def exhibit(
 ) -> Exhibit:
     """Build (or load, cache-warm) one of the paper's exhibits.
 
-    Accepts the :class:`RunSettings` fields as keyword arguments; an
-    unknown name raises :class:`TypeError`. By default the persistent
+    Accepts the :class:`RunSettings` fields as keyword arguments —
+    including ``machine="cpus16"`` (a preset name or
+    :class:`MachineParams`) to build the exhibit on a scaled geometry;
+    an unknown name raises :class:`TypeError`. By default the persistent
     run cache is used, so a previously built exhibit loads in
     milliseconds — the same storage and key the ``repro-experiments``
     CLI and ``repro.service`` use, which is what makes

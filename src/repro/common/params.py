@@ -18,6 +18,7 @@ paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,13 @@ class MachineParams:
     trace_buffer_entries: int = 2 * 1024 * 1024
     clock_interrupt_ms: float = 10.0  # the OS clock period (Section 4.1)
     spin_attempts_before_sginap: int = 20  # sync library behaviour (Table 8)
+    # Interrupt routing: IRIX pins disk/tty delivery to CPU 0 and the
+    # network daemons to CPU 1 (Section 2.1). Explicit fields so scaled
+    # geometries route deliberately instead of through a modulo of a
+    # 4-CPU constant; ``network_cpu=None`` resolves to CPU 1 where the
+    # machine has one, else CPU 0 (uniprocessor geometries).
+    device_cpu: int = 0
+    network_cpu: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_cpus < 1:
@@ -71,6 +79,14 @@ class MachineParams:
             raise ValueError("memory must be a whole number of pages")
         if self.icache.block_bytes != self.dcache_l1.block_bytes:
             raise ValueError("this model assumes a single block size")
+        if self.network_cpu is None:
+            object.__setattr__(
+                self, "network_cpu", 1 if self.num_cpus >= 2 else 0
+            )
+        if not 0 <= self.device_cpu < self.num_cpus:
+            raise ValueError("device_cpu must name an existing CPU")
+        if not 0 <= self.network_cpu < self.num_cpus:
+            raise ValueError("network_cpu must name an existing CPU")
 
     @property
     def block_bytes(self) -> int:

@@ -7,8 +7,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import AnalysisReport, analyze_trace
+from repro.machines import DEFAULT_MACHINE, MachineSpec, canonical_machine
 from repro.sim.runcache import RunCache, load_or_run
 from repro.sim._session import TracedRun
+
+# Exhibit.to_dict() payload schema. Version 2 added the explicit
+# "schema_version" field itself (version-1 payloads carry none);
+# from_dict() accepts both.
+EXHIBIT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -39,21 +45,32 @@ class RunSettings:
     # bytes, so non-default values DO enter cache keys.
     fidelity: str = "detailed"
     fast_forward: int = 0
+    # Machine geometry (``--machine`` / ``--cpus`` / ``REPRO_MACHINE``):
+    # a preset name from :mod:`repro.machines` or a full MachineParams.
+    # Like fidelity, a non-default machine changes the run's bytes, so
+    # it enters cache keys — canonicalized so a preset's name and its
+    # literal params key identically, and so the 4d340 default keeps
+    # every legacy key byte-identical.
+    machine: MachineSpec = DEFAULT_MACHINE
 
     def cache_repr(self) -> str:
         """The repr used for exhibit cache keys.
 
         Excludes ``shards`` (identical output ⇒ identical cache entry)
         and reproduces the pre-``shards`` dataclass repr byte for byte,
-        so existing warm caches stay valid. Fidelity fields append only
-        at non-default values — same compatibility discipline, opposite
-        reason: the tier changes output, so it must key distinctly.
+        so existing warm caches stay valid. Fidelity and machine fields
+        append only at non-default values — same compatibility
+        discipline, opposite reason: they change output, so they must
+        key distinctly.
         """
         extra = ""
         if self.fidelity != "detailed":
             extra += f", fidelity={self.fidelity!r}"
         if self.fast_forward:
             extra += f", fast_forward={self.fast_forward!r}"
+        machine = canonical_machine(getattr(self, "machine", DEFAULT_MACHINE))
+        if machine != DEFAULT_MACHINE:
+            extra += f", machine={machine!r}"
         return (
             f"RunSettings(horizon_ms={self.horizon_ms!r}, "
             f"warmup_ms={self.warmup_ms!r}, seed={self.seed!r}, "
@@ -115,14 +132,22 @@ class ExperimentContext:
         fast_forward = overrides.get(
             "fast_forward", getattr(self.settings, "fast_forward", 0)
         )
+        machine = canonical_machine(
+            overrides.get(
+                "machine", getattr(self.settings, "machine", DEFAULT_MACHINE)
+            )
+        )
         # Unchecked runs keep sim_kwargs == {} so PR-1 cache keys (and
         # the byte-identity smoke) are untouched; the same discipline
-        # keeps default-fidelity keys identical to pre-fidelity ones.
+        # keeps default-fidelity and default-machine keys identical to
+        # the keys from before those knobs existed.
         sim_kwargs = {"check": check} if check else {}
         if fidelity != "detailed":
             sim_kwargs["fidelity"] = fidelity
         if fast_forward:
             sim_kwargs["fast_forward"] = fast_forward
+        if machine != DEFAULT_MACHINE:
+            sim_kwargs["machine"] = machine
         return horizon, warmup, seed, sim_kwargs, shards
 
     @staticmethod
@@ -270,6 +295,7 @@ class Exhibit:
     def to_dict(self) -> Dict:
         """JSON-ready structure mirroring :meth:`to_text` content."""
         payload = {
+            "schema_version": EXHIBIT_SCHEMA_VERSION,
             "exhibit_id": self.exhibit_id,
             "title": self.title,
             "columns": [str(c) for c in self.columns],
@@ -286,7 +312,18 @@ class Exhibit:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "Exhibit":
-        """Rebuild an exhibit from :meth:`to_dict` output."""
+        """Rebuild an exhibit from :meth:`to_dict` output.
+
+        Accepts both the current schema and version-1 payloads (which
+        predate the ``schema_version`` field); an unknown newer version
+        raises so stale readers fail loudly instead of dropping fields.
+        """
+        version = payload.get("schema_version", 1)
+        if not 1 <= version <= EXHIBIT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported exhibit schema_version {version!r} "
+                f"(this reader understands 1..{EXHIBIT_SCHEMA_VERSION})"
+            )
         exhibit = cls(
             payload["exhibit_id"],
             payload["title"],

@@ -18,6 +18,7 @@ from repro.experiments import parallel
 from repro.experiments._base import ExperimentContext, RunSettings
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.fidelity import resolve_fast_forward, resolve_fidelity
+from repro.machines import MACHINES, machine_for_cpus, resolve_machine_name
 from repro.sanitizers import check_enabled_by_env, deep_check_enabled_by_env
 from repro.sim.runcache import RunCache
 from repro.sim.sharded import SHARD_STATS, resolve_shards
@@ -60,6 +61,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="mixed tier: hand off to the detailed engine after REFS "
              "atomic references instead of at the warmup seam "
              "(default: $REPRO_FAST_FORWARD or 0)",
+    )
+    machine_group = run_cmd.add_mutually_exclusive_group()
+    machine_group.add_argument(
+        "--machine", choices=tuple(MACHINES), default=None, metavar="NAME",
+        help="machine preset from repro.machines: "
+             f"{', '.join(MACHINES)} (default: $REPRO_MACHINE or 4d340)",
+    )
+    machine_group.add_argument(
+        "--cpus", type=int, default=None, metavar="N",
+        help="shorthand for --machine: the preset with exactly N CPUs",
     )
     run_cmd.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -110,6 +121,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     shards = resolve_shards(args.shards)
     fidelity = resolve_fidelity(args.fidelity)
     fast_forward = resolve_fast_forward(args.fast_forward)
+    try:
+        if args.cpus is not None:
+            machine = machine_for_cpus(args.cpus)
+        else:
+            machine = resolve_machine_name(args.machine)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if check and fidelity == "atomic":
         # Fail fast with the library's own message instead of dying
         # workload-by-workload inside the runs.
@@ -139,6 +158,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             shards=shards,
             fidelity=fidelity,
             fast_forward=fast_forward,
+            machine=machine,
         ),
         cache=cache,
     )

@@ -6,7 +6,7 @@ from typing import Dict, List, Optional
 
 from repro.experiments import (
     ablation_affinity, ablation_blockops, ablation_layout,
-    ablation_runqueues, oracle_scale, tr_distributions,
+    ablation_runqueues, oracle_scale, scaling, tr_distributions,
     figure1, figure2, figure3, figure4, figure5, figure6, figure7,
     figure8, figure9, figure10, figure11,
     table1, table2, table3, table4, table5, table6, table7, table8,
@@ -41,9 +41,28 @@ VALIDATION_EXPERIMENTS: Dict[str, object] = {
     module.EXHIBIT_ID: module for module in (validate_fidelity,)
 }
 
+# Extensions past the measured machine: sweeps over the repro.machines
+# preset ladder, probing the paper's scaling predictions.
+EXTENSION_EXPERIMENTS: Dict[str, object] = {
+    module.EXHIBIT_ID: module for module in (scaling,)
+}
+
 EXPERIMENTS: Dict[str, object] = {
     **PAPER_EXPERIMENTS, **ABLATION_EXPERIMENTS, **VALIDATION_EXPERIMENTS,
+    **EXTENSION_EXPERIMENTS,
 }
+
+# Short CLI/service spellings for exhibit ids. Resolution happens before
+# any cache I/O, so an alias and its canonical id share cache entries
+# and serve byte-identical payloads.
+ALIASES: Dict[str, str] = {
+    "scaling": scaling.EXHIBIT_ID,
+}
+
+
+def resolve_exhibit_id(exhibit_id: str) -> str:
+    """Canonical exhibit id, mapping registered aliases through."""
+    return ALIASES.get(exhibit_id, exhibit_id)
 
 
 def exhibit_metadata(exhibit_id: str) -> Dict[str, object]:
@@ -54,6 +73,7 @@ def exhibit_metadata(exhibit_id: str) -> Dict[str, object]:
     comes from :func:`run_experiment`.
     """
     module = get_experiment(exhibit_id)
+    exhibit_id = resolve_exhibit_id(exhibit_id)
     if exhibit_id.startswith("table"):
         kind = "table"
     elif exhibit_id.startswith("figure"):
@@ -80,7 +100,7 @@ def list_exhibit_metadata() -> List[Dict[str, object]]:
 
 def get_experiment(exhibit_id: str):
     try:
-        return EXPERIMENTS[exhibit_id]
+        return EXPERIMENTS[resolve_exhibit_id(exhibit_id)]
     except KeyError:
         raise ValueError(
             f"unknown exhibit {exhibit_id!r}; choose from {sorted(EXPERIMENTS)}"
@@ -101,6 +121,7 @@ def run_experiment(
     """
     if ctx is None:
         ctx = ExperimentContext()
+    exhibit_id = resolve_exhibit_id(exhibit_id)
     if exhibit_id not in ctx.exhibit_cache:
         get_experiment(exhibit_id)  # reject unknown ids before cache I/O
         exhibit = ctx.load_cached_exhibit(exhibit_id)

@@ -94,6 +94,7 @@ class FidelityValidation:
     horizon_ms: float
     warmup_ms: float
     seed: int
+    machine: str
     fast_forward: int
     fast_forwarded_refs: int
     seam_cycles: Optional[int]
@@ -130,6 +131,7 @@ class FidelityValidation:
             "horizon_ms": self.horizon_ms,
             "warmup_ms": self.warmup_ms,
             "seed": self.seed,
+            "machine": self.machine,
             "fast_forward": self.fast_forward,
             "fast_forwarded_refs": self.fast_forwarded_refs,
             "seam_cycles": self.seam_cycles,
@@ -146,8 +148,10 @@ class FidelityValidation:
 
     def summary(self) -> str:
         verdict = "ok" if self.ok else f"{len(self.failures)} OUT OF BOUND"
+        machine = "" if self.machine == "4d340" else f"@{self.machine}"
         return (
-            f"validate-fidelity {self.workload}: {len(self.checks)} stats "
+            f"validate-fidelity {self.workload}{machine}: "
+            f"{len(self.checks)} stats "
             f"[{verdict}] detailed={self.detailed_seconds:.2f}s "
             f"mixed={self.mixed_cold_seconds:.2f}s "
             f"(warm {self.mixed_warm_seconds:.2f}s, "
@@ -267,24 +271,27 @@ def validate_workload(
     horizon_ms: float = 40.0,
     warmup_ms: float = 260.0,
     seed: int = 7,
+    machine: str = "4d340",
     fast_forward: int = 0,
     share_bound_pp: float = 18.0,
     rel_bound: float = 0.75,
     count_floor: int = 50,
 ) -> FidelityValidation:
-    """Run ``workload`` detailed and mixed, compare, and time all tiers."""
+    """Run ``workload`` detailed and mixed on one machine geometry,
+    compare, and time all tiers."""
     from repro.analysis.report import analyze_trace
     from repro.sim._session import Simulation
 
     started = time.perf_counter()
-    detailed_run = Simulation(workload, seed=seed).run(
+    detailed_run = Simulation(workload, seed=seed, machine=machine).run(
         horizon_ms, warmup_ms=warmup_ms
     )
     detailed_seconds = time.perf_counter() - started
 
     store = _MemoryStore()
     sim = Simulation(
-        workload, seed=seed, fidelity="mixed", fast_forward=fast_forward
+        workload, seed=seed, machine=machine, fidelity="mixed",
+        fast_forward=fast_forward,
     )
     sim.checkpoint_cache = store
     sim.checkpoint_cache_key = "in-memory"
@@ -307,6 +314,7 @@ def validate_workload(
         horizon_ms=horizon_ms,
         warmup_ms=warmup_ms,
         seed=seed,
+        machine=machine,
         fast_forward=fast_forward,
         fast_forwarded_refs=mixed_run.fast_forwarded_refs,
         seam_cycles=mixed_run.seam_cycles,
@@ -335,6 +343,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--horizon-ms", type=float, default=40.0)
     parser.add_argument("--warmup-ms", type=float, default=260.0)
     parser.add_argument("--seed", type=int, default=7)
+    machine_group = parser.add_mutually_exclusive_group()
+    machine_group.add_argument(
+        "--machine", default=None, metavar="NAME",
+        help="machine preset from repro.machines "
+             "(default: $REPRO_MACHINE or 4d340)",
+    )
+    machine_group.add_argument(
+        "--cpus", type=int, default=None, metavar="N",
+        help="shorthand for --machine: the preset with exactly N CPUs",
+    )
     parser.add_argument("--fast-forward", type=int, default=0)
     parser.add_argument(
         "--share-bound-pp", type=float, default=18.0,
@@ -355,12 +373,19 @@ def main(argv: Optional[List[str]] = None) -> int:
              "the detailed run by at least this factor (default 0 = off)",
     )
     args = parser.parse_args(argv)
+    from repro.machines import machine_for_cpus, resolve_machine_name
+
+    if args.cpus is not None:
+        machine = machine_for_cpus(args.cpus)
+    else:
+        machine = resolve_machine_name(args.machine)
     results = [
         validate_workload(
             workload,
             horizon_ms=args.horizon_ms,
             warmup_ms=args.warmup_ms,
             seed=args.seed,
+            machine=machine,
             fast_forward=args.fast_forward,
             share_bound_pp=args.share_bound_pp,
             rel_bound=args.rel_bound,

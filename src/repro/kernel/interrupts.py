@@ -15,6 +15,9 @@ from __future__ import annotations
 from repro.common.types import InterruptKind
 from repro.kernel.structures import StructName
 
+# Legacy aliases for the measured 4D/340's routing. The simulator reads
+# the explicit MachineParams.device_cpu / network_cpu fields instead, so
+# scaled geometries (repro.machines) can route deliberately.
 DEVICE_CPU = 0
 NETWORK_CPU = 1
 

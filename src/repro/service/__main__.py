@@ -19,6 +19,7 @@ from typing import List, Optional
 from repro.experiments._base import RunSettings
 from repro.experiments.parallel import default_jobs
 from repro.fidelity import resolve_fast_forward, resolve_fidelity
+from repro.machines import MACHINES, resolve_machine_name
 from repro.service.app import ServiceApp, ServiceConfig
 from repro.service.server import serve
 from repro.sim.sharded import resolve_shards
@@ -39,6 +40,7 @@ def build_config(args) -> ServiceConfig:
         shards=resolve_shards(args.shards),
         fidelity=resolve_fidelity(args.fidelity),
         fast_forward=resolve_fast_forward(args.fast_forward),
+        machine=resolve_machine_name(args.machine),
     )
     return ServiceConfig(
         settings=settings,
@@ -105,6 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast-forward", type=int, default=None, metavar="REFS",
         help="mixed tier: atomic references before the detailed hand-off "
              "(default: $REPRO_FAST_FORWARD or 0)",
+    )
+    parser.add_argument(
+        "--machine", choices=tuple(MACHINES), default=None, metavar="NAME",
+        help="default machine preset for builds; per-request override "
+             f"via ?machine= ({', '.join(MACHINES)}; "
+             "default: $REPRO_MACHINE or 4d340)",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",

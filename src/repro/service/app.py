@@ -33,8 +33,13 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs
 
 from repro.experiments._base import Exhibit, ExperimentContext, RunSettings
-from repro.experiments.registry import EXPERIMENTS, list_exhibit_metadata
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    list_exhibit_metadata,
+    resolve_exhibit_id,
+)
 from repro.fidelity import FIDELITY_LEVELS
+from repro.machines import MACHINES
 from repro.service.jobs import JobManager, QueueFull, apply_fidelity
 from repro.service.metrics import MetricsRegistry
 
@@ -293,6 +298,9 @@ class ServiceApp:
         return self._json(200, {"exhibits": list_exhibit_metadata()})
 
     def _exhibit(self, exhibit_id: str, query: str) -> Reply:
+        # Aliases (e.g. /exhibits/scaling) canonicalize before any cache
+        # or job lookup, so both spellings serve identical bytes.
+        exhibit_id = resolve_exhibit_id(exhibit_id)
         if exhibit_id not in EXPERIMENTS:
             return self._error(
                 404,
@@ -329,7 +337,19 @@ class ServiceApp:
             return self._error(400, "fast_forward must be an integer")
         if not fast_forward:
             fast_forward = getattr(self.config.settings, "fast_forward", 0)
-        exhibit = self._warm_exhibit(exhibit_id, fidelity, fast_forward)
+        # Machine geometry: ?machine=cpus16 builds the exhibit's variant
+        # on a scaled preset (distinct cache entries, like fidelity).
+        machine = params.get("machine", [None])[0]
+        if machine is None:
+            machine = getattr(self.config.settings, "machine", "4d340")
+        elif machine not in MACHINES:
+            return self._error(
+                400,
+                f"unknown machine {machine!r}",
+                choices=list(MACHINES),
+            )
+        exhibit = self._warm_exhibit(exhibit_id, fidelity, fast_forward,
+                                     machine)
         if exhibit is not None:
             self.metrics.exhibit_warm_hits.inc()
             if fmt == "text":
@@ -338,7 +358,8 @@ class ServiceApp:
         self.metrics.exhibit_cold_misses.inc()
         try:
             job, _created = self.jobs.submit(
-                exhibit_id, fidelity=fidelity, fast_forward=fast_forward
+                exhibit_id, fidelity=fidelity, fast_forward=fast_forward,
+                machine=machine,
             )
         except QueueFull:
             reply = self._error(
@@ -360,26 +381,29 @@ class ServiceApp:
         return reply
 
     def _warm_exhibit(
-        self, exhibit_id: str, fidelity: str, fast_forward: int
+        self, exhibit_id: str, fidelity: str, fast_forward: int,
+        machine: str = "4d340",
     ) -> Optional[Exhibit]:
         """The exhibit if it can be served without simulating, else None.
 
-        Non-default engine tiers key a separate in-memory slot and a
-        separate disk entry (``RunSettings.cache_repr`` folds the tier
-        in), so a mixed-tier build never shadows the detailed exhibit.
+        Non-default engine tiers and machines key a separate in-memory
+        slot and a separate disk entry (``RunSettings.cache_repr`` folds
+        both in), so a mixed-tier or cpus16 build never shadows the
+        default exhibit.
         """
         settings = apply_fidelity(
-            self.config.settings, fidelity, fast_forward
+            self.config.settings, fidelity, fast_forward, machine
         )
         if settings is self.config.settings:
             memory_key = exhibit_id
         else:
-            memory_key = f"{exhibit_id}@{fidelity}+{fast_forward}"
+            memory_key = f"{exhibit_id}@{fidelity}+{fast_forward}@{machine}"
         cached = self.ctx.exhibit_cache.get(memory_key)
         if cached is not None:
             return cached
         payload = self.jobs.result_for_exhibit(
-            exhibit_id, fidelity=fidelity, fast_forward=fast_forward
+            exhibit_id, fidelity=fidelity, fast_forward=fast_forward,
+            machine=machine,
         )
         if payload is not None:
             exhibit = Exhibit.from_dict(payload)

@@ -59,12 +59,14 @@ class Job:
     job_id: str
     exhibit_id: str
     state: str = QUEUED
-    # Engine-tier overrides for this build (the service's configured
-    # settings otherwise). Jobs for the same exhibit at different tiers
-    # are distinct — they produce different bytes — so coalescing and
-    # result lookup key on (exhibit_id, fidelity, fast_forward).
+    # Engine-tier and machine-geometry overrides for this build (the
+    # service's configured settings otherwise). Jobs for the same
+    # exhibit at different tiers or machines are distinct — they produce
+    # different bytes — so coalescing and result lookup key on
+    # (exhibit_id, fidelity, fast_forward, machine).
     fidelity: str = "detailed"
     fast_forward: int = 0
+    machine: str = "4d340"
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -73,7 +75,8 @@ class Job:
 
     @property
     def variant(self) -> tuple:
-        return (self.exhibit_id, self.fidelity, self.fast_forward)
+        return (self.exhibit_id, self.fidelity, self.fast_forward,
+                self.machine)
 
     def to_dict(self) -> dict:
         payload = {
@@ -88,6 +91,8 @@ class Job:
             payload["fidelity"] = self.fidelity
         if self.fast_forward:
             payload["fast_forward"] = self.fast_forward
+        if self.machine != "4d340":
+            payload["machine"] = self.machine
         if self.error is not None:
             payload["error"] = self.error
         if self.state == DONE:
@@ -95,13 +100,16 @@ class Job:
         return payload
 
 
-def apply_fidelity(settings, fidelity: str, fast_forward: int):
-    """``settings`` with the job's engine-tier overrides applied."""
+def apply_fidelity(settings, fidelity: str, fast_forward: int,
+                   machine: str = "4d340"):
+    """``settings`` with the job's tier/machine overrides applied."""
     if (fidelity == getattr(settings, "fidelity", "detailed")
-            and fast_forward == getattr(settings, "fast_forward", 0)):
+            and fast_forward == getattr(settings, "fast_forward", 0)
+            and machine == getattr(settings, "machine", "4d340")):
         return settings
     return dataclasses.replace(
-        settings, fidelity=fidelity, fast_forward=fast_forward
+        settings, fidelity=fidelity, fast_forward=fast_forward,
+        machine=machine,
     )
 
 
@@ -225,17 +233,18 @@ class JobManager:
         exhibit_id: str,
         fidelity: str = "detailed",
         fast_forward: int = 0,
+        machine: str = "4d340",
     ) -> "tuple[Job, bool]":
         """Queue a build; returns ``(job, created)``.
 
         ``created`` is False when the request coalesced onto a job for
-        the same exhibit *and engine tier* that is already queued or
-        running. Raises :class:`QueueFull` when the bounded queue has no
-        room and :class:`RuntimeError` after :meth:`close`.
+        the same exhibit, engine tier *and machine* that is already
+        queued or running. Raises :class:`QueueFull` when the bounded
+        queue has no room and :class:`RuntimeError` after :meth:`close`.
         """
         if self._queue is None or self.closing:
             raise RuntimeError("job manager is not accepting work")
-        variant = (exhibit_id, fidelity, fast_forward)
+        variant = (exhibit_id, fidelity, fast_forward, machine)
         for job in self.jobs.values():
             if job.variant == variant and job.state in (QUEUED, RUNNING):
                 if self.metrics is not None:
@@ -243,7 +252,7 @@ class JobManager:
                 return job, False
         job = Job(job_id=f"job-{next(self._ids)}-{uuid.uuid4().hex[:8]}",
                   exhibit_id=exhibit_id, fidelity=fidelity,
-                  fast_forward=fast_forward)
+                  fast_forward=fast_forward, machine=machine)
         try:
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
@@ -265,9 +274,10 @@ class JobManager:
         exhibit_id: str,
         fidelity: str = "detailed",
         fast_forward: int = 0,
+        machine: str = "4d340",
     ) -> Optional[dict]:
         """The most recent completed payload for the exhibit variant."""
-        variant = (exhibit_id, fidelity, fast_forward)
+        variant = (exhibit_id, fidelity, fast_forward, machine)
         for job_id in reversed(self._finished_order):
             job = self.jobs.get(job_id)
             if job is not None and job.variant == variant \
@@ -321,7 +331,8 @@ class JobManager:
         future = loop.run_in_executor(
             self._executor, self.runner,
             job.exhibit_id,
-            apply_fidelity(self.settings, job.fidelity, job.fast_forward),
+            apply_fidelity(self.settings, job.fidelity, job.fast_forward,
+                           job.machine),
             self.cache_spec,
         )
         self._tasks_by_job[job.job_id] = future

@@ -26,7 +26,6 @@ from repro.fidelity import (
     snapshot_window_counters,
     validate_fidelity,
 )
-from repro.kernel.interrupts import DEVICE_CPU, NETWORK_CPU
 from repro.kernel.kernel import Kernel, KernelTuning
 from repro.kernel.vm import VmTuning
 from repro.memsys.system import MemorySystem
@@ -42,6 +41,22 @@ from repro.sanitizers import (
 from repro.sim.config import CALIBRATIONS
 from repro.sim.usermode import UserEngine
 from repro.workloads import Workload, make_workload
+
+
+def clock_stagger(clock_period: int, num_cpus: int) -> List[int]:
+    """First clock-tick time per CPU: one period plus ``i/num_cpus`` of a
+    period, as exact integer arithmetic.
+
+    ``clock_period * i // num_cpus`` is a Bresenham spread: offsets are
+    distinct, strictly increasing, land inside ``[0, clock_period)``,
+    and consecutive gaps differ by at most one cycle for *any* CPU
+    count — power of two or not — with no floating-point rounding to
+    drift at 64 CPUs. The 4-CPU values are byte-identical to the
+    original inline loop.
+    """
+    return [
+        clock_period + clock_period * i // num_cpus for i in range(num_cpus)
+    ]
 
 
 @dataclass
@@ -119,7 +134,24 @@ class Simulation:
         fidelity: str = "detailed",
         fast_forward: int = 0,
         record_drivers: bool = False,
+        machine=None,
     ):
+        # ``machine`` (a preset name from repro.machines, or a full
+        # MachineParams) is the public way to pick a geometry; bare
+        # ``params=`` remains for custom one-off machines. A preset also
+        # carries its recommended run-queue count (one queue per 4-CPU
+        # cluster, Section 6), folded into the default tuning below —
+        # explicit ``tuning=`` always wins.
+        machine_run_queues = 1
+        if machine is not None:
+            if params is not None:
+                raise TypeError("pass machine= or params=, not both")
+            from repro.machines import MACHINES, canonical_machine, resolve_machine
+
+            machine = canonical_machine(machine)
+            params = resolve_machine(machine)
+            if isinstance(machine, str):
+                machine_run_queues = MACHINES[machine].run_queues
         self.params = params if params is not None else MachineParams()
         self.seed = seed
         self.fidelity = validate_fidelity(fidelity)
@@ -151,6 +183,7 @@ class Simulation:
                 vm.baseline_frames = calibration.baseline_frames
             tuning = KernelTuning(
                 quantum_ms=calibration.quantum_ms if calibration else 30.0,
+                num_run_queues=machine_run_queues,
                 vm=vm,
             )
 
@@ -195,9 +228,7 @@ class Simulation:
         clock_period = self.params.ms_to_cycles(self.params.clock_interrupt_ms)
         ncpus = self.params.num_cpus
         # Stagger the per-CPU clocks so ticks do not all collide.
-        self._next_clock = [
-            clock_period + clock_period * i // ncpus for i in range(ncpus)
-        ]
+        self._next_clock = clock_stagger(clock_period, ncpus)
         self._clock_period = clock_period
         self._slice_cycles = self.params.ms_to_cycles(workload.engine_config.slice_ms)
         self._idle_step = max(
@@ -485,7 +516,7 @@ class Simulation:
 
         if cpu == 0 and self._detail_active and self.master.due(proc.cycles):
             self._service_master(proc)
-        if cpu == DEVICE_CPU:
+        if cpu == self.params.device_cpu:
             self._deliver_device_events(proc)
 
         # Clock ticks due on this CPU.
@@ -570,8 +601,10 @@ class Simulation:
             p.set_mode(Mode.IDLE)
             p.advance_to(resume_at)
             p.set_mode(mode)
-        # The transfer wakes the network daemons on CPU 1 (Section 2.1).
-        net_proc = self.processors[NETWORK_CPU % self.params.num_cpus]
+        # The transfer wakes the network daemons (CPU 1 on the measured
+        # machine, Section 2.1; an explicit MachineParams field so scaled
+        # geometries route deliberately).
+        net_proc = self.processors[self.params.network_cpu]
         with self.kernel.os_invocation(
             net_proc, HighLevelOp.INTERRUPT, save_frame=False
         ):

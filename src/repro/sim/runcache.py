@@ -395,6 +395,18 @@ def load_or_run(
         sim_kwargs.pop("fidelity", None)
     if not sim_kwargs.get("fast_forward", 0):
         sim_kwargs.pop("fast_forward", None)
+    # The machine geometry also changes the run's bytes, so it keys the
+    # run — canonicalized (a preset's name and its literal MachineParams
+    # key identically) with the 4d340 default normalized away so every
+    # pre-existing default-machine entry stays valid.
+    if "machine" in sim_kwargs:
+        from repro.machines import DEFAULT_MACHINE, canonical_machine
+
+        machine = canonical_machine(sim_kwargs["machine"])
+        if machine == DEFAULT_MACHINE:
+            sim_kwargs.pop("machine")
+        else:
+            sim_kwargs["machine"] = machine
     mixed = sim_kwargs.get("fidelity") == "mixed"
     key = None
     claimed = False
