@@ -10,6 +10,7 @@ from repro.analysis.report import AnalysisReport, analyze_trace
 from repro.machines import DEFAULT_MACHINE, MachineSpec, canonical_machine
 from repro.sim.runcache import RunCache, load_or_run
 from repro.sim._session import TracedRun
+from repro.workloads import canonical_workload_args
 
 # Exhibit.to_dict() payload schema. Version 2 added the explicit
 # "schema_version" field itself (version-1 payloads carry none);
@@ -52,6 +53,11 @@ class RunSettings:
     # literal params key identically, and so the 4d340 default keeps
     # every legacy key byte-identical.
     machine: MachineSpec = DEFAULT_MACHINE
+    # Workload tuning knobs (``--workload-arg k=v`` / ``?workload_arg=``):
+    # canonicalized to a sorted (name, value) pair tuple. Tuned runs are
+    # different runs, so non-empty args enter cache keys; the empty
+    # default normalizes away and keeps every existing key byte-identical.
+    workload_args: tuple = ()
 
     def cache_repr(self) -> str:
         """The repr used for exhibit cache keys.
@@ -71,6 +77,11 @@ class RunSettings:
         machine = canonical_machine(getattr(self, "machine", DEFAULT_MACHINE))
         if machine != DEFAULT_MACHINE:
             extra += f", machine={machine!r}"
+        workload_args = canonical_workload_args(
+            getattr(self, "workload_args", ())
+        )
+        if workload_args:
+            extra += f", workload_args={workload_args!r}"
         return (
             f"RunSettings(horizon_ms={self.horizon_ms!r}, "
             f"warmup_ms={self.warmup_ms!r}, seed={self.seed!r}, "
@@ -137,6 +148,11 @@ class ExperimentContext:
                 "machine", getattr(self.settings, "machine", DEFAULT_MACHINE)
             )
         )
+        workload_args = canonical_workload_args(
+            overrides.get(
+                "workload_args", getattr(self.settings, "workload_args", ())
+            )
+        )
         # Unchecked runs keep sim_kwargs == {} so PR-1 cache keys (and
         # the byte-identity smoke) are untouched; the same discipline
         # keeps default-fidelity and default-machine keys identical to
@@ -148,16 +164,26 @@ class ExperimentContext:
             sim_kwargs["fast_forward"] = fast_forward
         if machine != DEFAULT_MACHINE:
             sim_kwargs["machine"] = machine
+        if workload_args:
+            sim_kwargs["workload_args"] = workload_args
         return horizon, warmup, seed, sim_kwargs, shards
 
     @staticmethod
     def _memory_key(workload: str, overrides: Dict) -> Tuple:
         """In-memory cache key; ``shards`` is excluded because sharded
-        and serial analysis of the same run are identical objects."""
-        return (
-            workload,
-            tuple(sorted((k, v) for k, v in overrides.items() if k != "shards")),
-        )
+        and serial analysis of the same run are identical objects.
+        ``workload_args`` is canonicalized so a dict and its pair-tuple
+        form key (and hash) identically."""
+        items = []
+        for k, v in overrides.items():
+            if k == "shards":
+                continue
+            if k == "workload_args":
+                v = canonical_workload_args(v)
+                if not v:
+                    continue
+            items.append((k, v))
+        return (workload, tuple(sorted(items)))
 
     def run(self, workload: str, **overrides) -> TracedRun:
         key = self._memory_key(workload, overrides)

@@ -22,6 +22,7 @@ from repro.machines import MACHINES, machine_for_cpus, resolve_machine_name
 from repro.sanitizers import check_enabled_by_env, deep_check_enabled_by_env
 from repro.sim.runcache import RunCache
 from repro.sim.sharded import SHARD_STATS, resolve_shards
+from repro.workloads import parse_workload_args
 
 # argparse defaults come from the dataclass so the CLI cannot drift
 # from the settings the library and fixtures use.
@@ -71,6 +72,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     machine_group.add_argument(
         "--cpus", type=int, default=None, metavar="N",
         help="shorthand for --machine: the preset with exactly N CPUs",
+    )
+    run_cmd.add_argument(
+        "--workload-arg", action="append", default=None, metavar="K=V",
+        dest="workload_args",
+        help="workload tuning knob (repeatable), e.g. --workload-arg "
+             "skew=1.2; applies to every workload the exhibit runs and "
+             "folds into the cache keys",
     )
     run_cmd.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -129,6 +137,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    try:
+        workload_args = parse_workload_args(args.workload_args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if check and fidelity == "atomic":
         # Fail fast with the library's own message instead of dying
         # workload-by-workload inside the runs.
@@ -159,6 +172,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             fidelity=fidelity,
             fast_forward=fast_forward,
             machine=machine,
+            workload_args=workload_args,
         ),
         cache=cache,
     )

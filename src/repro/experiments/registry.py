@@ -6,7 +6,8 @@ from typing import Dict, List, Optional
 
 from repro.experiments import (
     ablation_affinity, ablation_blockops, ablation_layout,
-    ablation_runqueues, oracle_scale, scaling, tr_distributions,
+    ablation_runqueues, figure_skew, oracle_scale, scaling,
+    tr_distributions,
     figure1, figure2, figure3, figure4, figure5, figure6, figure7,
     figure8, figure9, figure10, figure11,
     table1, table2, table3, table4, table5, table6, table7, table8,
@@ -42,9 +43,10 @@ VALIDATION_EXPERIMENTS: Dict[str, object] = {
 }
 
 # Extensions past the measured machine: sweeps over the repro.machines
-# preset ladder, probing the paper's scaling predictions.
+# preset ladder and the server workloads' tuning knobs, probing the
+# paper's scaling predictions under traffic it never saw.
 EXTENSION_EXPERIMENTS: Dict[str, object] = {
-    module.EXHIBIT_ID: module for module in (scaling,)
+    module.EXHIBIT_ID: module for module in (scaling, figure_skew)
 }
 
 EXPERIMENTS: Dict[str, object] = {
@@ -57,6 +59,7 @@ EXPERIMENTS: Dict[str, object] = {
 # and serve byte-identical payloads.
 ALIASES: Dict[str, str] = {
     "scaling": scaling.EXHIBIT_ID,
+    "skew": figure_skew.EXHIBIT_ID,
 }
 
 

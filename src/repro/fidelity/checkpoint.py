@@ -123,7 +123,8 @@ def _reattach_drivers(sim) -> None:
     if log is None:
         raise ValueError("checkpoint has no driver log; cannot replay drivers")
     scratch = Simulation(
-        sim.workload.name, params=sim.params, seed=sim.seed, trace=False
+        sim.workload.name, params=sim.params, seed=sim.seed, trace=False,
+        workload_args=getattr(sim, "workload_args", None),
     )
     _graft_images(scratch.workload, sim.kernel.images)
     generators = {
@@ -190,15 +191,19 @@ def _graft_images(workload, live_images: Dict[str, Any]) -> None:
 # Run-cache integration
 # ----------------------------------------------------------------------
 def tty_dependent(workload) -> bool:
-    """True when the workload schedules terminal input from the horizon.
+    """True when the workload schedules input events from the horizon.
 
-    Such a workload's checkpoint bakes in a horizon-specific tty queue,
-    so its cache key must include the horizon; the others' checkpoints
-    are horizon-independent and reusable across sweep points.
+    Such a workload's checkpoint bakes in a horizon-specific tty (or
+    network-arrival) queue, so its cache key must include the horizon;
+    the others' checkpoints are horizon-independent and reusable across
+    sweep points.
     """
     from repro.workloads.base import Workload
 
-    return type(workload).tty_events is not Workload.tty_events
+    return (
+        type(workload).tty_events is not Workload.tty_events
+        or type(workload).net_events is not Workload.net_events
+    )
 
 
 def checkpoint_key(

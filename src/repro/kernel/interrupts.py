@@ -135,10 +135,26 @@ class Interrupts:
         self._exit(proc)
 
     # ------------------------------------------------------------------
-    # Network (CPU 1 daemons during trace transfer)
+    # Network (CPU 1: trace-transfer daemons, and request arrivals)
     # ------------------------------------------------------------------
-    def network(self, proc) -> None:
+    def network(self, proc, session_id=None, nchars: int = 0) -> None:
+        """One network interrupt on the network CPU.
+
+        Bare ``network(proc)`` is the trace-transfer daemon kick
+        (Section 2.1). With a ``session_id`` it delivers an inbound
+        request (repro.workloads.netserver): the handler queues the
+        bytes on the session's stream under its ``streams_x`` lock —
+        the one lock family the IRQ lockdep rules allow here — and
+        wakes the server sleeping in ``tty_read``.
+        """
+        k = self.k
         self._enter(proc, InterruptKind.NETWORK)
-        proc.ifetch_range(*self.k.routine_span("net_intr"))
-        proc.ifetch_range(*self.k.routine_span("net_driver_hot"))
+        proc.ifetch_range(*k.routine_span("net_intr"))
+        proc.ifetch_range(*k.routine_span("net_driver_hot"))
+        if session_id is not None:
+            with k.locks.held_lock(proc, k.locks.streams(session_id)):
+                proc.ifetch_range(*k.routine_span("streams_core"))
+                proc.dwrite(k.datamap.kheap_scratch(session_id))
+            k.tty_input[session_id] = k.tty_input.get(session_id, 0) + nchars
+            k.wakeup(("tty", session_id), proc)
         self._exit(proc)

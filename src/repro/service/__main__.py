@@ -23,6 +23,7 @@ from repro.machines import MACHINES, resolve_machine_name
 from repro.service.app import ServiceApp, ServiceConfig
 from repro.service.server import serve
 from repro.sim.sharded import resolve_shards
+from repro.workloads import parse_workload_args
 
 _DEFAULTS = RunSettings()
 
@@ -41,6 +42,7 @@ def build_config(args) -> ServiceConfig:
         fidelity=resolve_fidelity(args.fidelity),
         fast_forward=resolve_fast_forward(args.fast_forward),
         machine=resolve_machine_name(args.machine),
+        workload_args=parse_workload_args(args.workload_args),
     )
     return ServiceConfig(
         settings=settings,
@@ -113,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="default machine preset for builds; per-request override "
              f"via ?machine= ({', '.join(MACHINES)}; "
              "default: $REPRO_MACHINE or 4d340)",
+    )
+    parser.add_argument(
+        "--workload-arg", action="append", default=None, metavar="K=V",
+        dest="workload_args",
+        help="default workload tuning knob for builds (repeatable); "
+             "per-request override via ?workload_arg=k=v",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",

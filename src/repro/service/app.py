@@ -42,6 +42,7 @@ from repro.fidelity import FIDELITY_LEVELS
 from repro.machines import MACHINES
 from repro.service.jobs import JobManager, QueueFull, apply_fidelity
 from repro.service.metrics import MetricsRegistry
+from repro.workloads import parse_workload_args
 
 STATUS_TEXT = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -348,8 +349,21 @@ class ServiceApp:
                 f"unknown machine {machine!r}",
                 choices=list(MACHINES),
             )
+        # Workload knobs: repeated ?workload_arg=k=v parameters build a
+        # tuned variant (distinct cache entries — tuned runs are
+        # different runs).
+        try:
+            workload_args = parse_workload_args(
+                params.get("workload_arg", ())
+            )
+        except ValueError as exc:
+            return self._error(400, str(exc))
+        if not workload_args:
+            workload_args = getattr(
+                self.config.settings, "workload_args", ()
+            )
         exhibit = self._warm_exhibit(exhibit_id, fidelity, fast_forward,
-                                     machine)
+                                     machine, workload_args)
         if exhibit is not None:
             self.metrics.exhibit_warm_hits.inc()
             if fmt == "text":
@@ -359,7 +373,7 @@ class ServiceApp:
         try:
             job, _created = self.jobs.submit(
                 exhibit_id, fidelity=fidelity, fast_forward=fast_forward,
-                machine=machine,
+                machine=machine, workload_args=workload_args,
             )
         except QueueFull:
             reply = self._error(
@@ -382,28 +396,32 @@ class ServiceApp:
 
     def _warm_exhibit(
         self, exhibit_id: str, fidelity: str, fast_forward: int,
-        machine: str = "4d340",
+        machine: str = "4d340", workload_args: tuple = (),
     ) -> Optional[Exhibit]:
         """The exhibit if it can be served without simulating, else None.
 
-        Non-default engine tiers and machines key a separate in-memory
-        slot and a separate disk entry (``RunSettings.cache_repr`` folds
-        both in), so a mixed-tier or cpus16 build never shadows the
-        default exhibit.
+        Non-default engine tiers, machines and workload knobs key a
+        separate in-memory slot and a separate disk entry
+        (``RunSettings.cache_repr`` folds them in), so a mixed-tier,
+        cpus16 or skew-tuned build never shadows the default exhibit.
         """
         settings = apply_fidelity(
-            self.config.settings, fidelity, fast_forward, machine
+            self.config.settings, fidelity, fast_forward, machine,
+            workload_args,
         )
         if settings is self.config.settings:
             memory_key = exhibit_id
         else:
-            memory_key = f"{exhibit_id}@{fidelity}+{fast_forward}@{machine}"
+            memory_key = (
+                f"{exhibit_id}@{fidelity}+{fast_forward}@{machine}"
+                f"@{workload_args!r}"
+            )
         cached = self.ctx.exhibit_cache.get(memory_key)
         if cached is not None:
             return cached
         payload = self.jobs.result_for_exhibit(
             exhibit_id, fidelity=fidelity, fast_forward=fast_forward,
-            machine=machine,
+            machine=machine, workload_args=workload_args,
         )
         if payload is not None:
             exhibit = Exhibit.from_dict(payload)

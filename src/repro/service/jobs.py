@@ -59,14 +59,15 @@ class Job:
     job_id: str
     exhibit_id: str
     state: str = QUEUED
-    # Engine-tier and machine-geometry overrides for this build (the
-    # service's configured settings otherwise). Jobs for the same
-    # exhibit at different tiers or machines are distinct — they produce
-    # different bytes — so coalescing and result lookup key on
-    # (exhibit_id, fidelity, fast_forward, machine).
+    # Engine-tier, machine-geometry and workload-knob overrides for this
+    # build (the service's configured settings otherwise). Jobs for the
+    # same exhibit at different tiers, machines or knobs are distinct —
+    # they produce different bytes — so coalescing and result lookup key
+    # on (exhibit_id, fidelity, fast_forward, machine, workload_args).
     fidelity: str = "detailed"
     fast_forward: int = 0
     machine: str = "4d340"
+    workload_args: tuple = ()
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -76,7 +77,7 @@ class Job:
     @property
     def variant(self) -> tuple:
         return (self.exhibit_id, self.fidelity, self.fast_forward,
-                self.machine)
+                self.machine, self.workload_args)
 
     def to_dict(self) -> dict:
         payload = {
@@ -93,6 +94,8 @@ class Job:
             payload["fast_forward"] = self.fast_forward
         if self.machine != "4d340":
             payload["machine"] = self.machine
+        if self.workload_args:
+            payload["workload_args"] = [list(kv) for kv in self.workload_args]
         if self.error is not None:
             payload["error"] = self.error
         if self.state == DONE:
@@ -101,15 +104,16 @@ class Job:
 
 
 def apply_fidelity(settings, fidelity: str, fast_forward: int,
-                   machine: str = "4d340"):
-    """``settings`` with the job's tier/machine overrides applied."""
+                   machine: str = "4d340", workload_args: tuple = ()):
+    """``settings`` with the job's tier/machine/knob overrides applied."""
     if (fidelity == getattr(settings, "fidelity", "detailed")
             and fast_forward == getattr(settings, "fast_forward", 0)
-            and machine == getattr(settings, "machine", "4d340")):
+            and machine == getattr(settings, "machine", "4d340")
+            and workload_args == getattr(settings, "workload_args", ())):
         return settings
     return dataclasses.replace(
         settings, fidelity=fidelity, fast_forward=fast_forward,
-        machine=machine,
+        machine=machine, workload_args=workload_args,
     )
 
 
@@ -234,17 +238,20 @@ class JobManager:
         fidelity: str = "detailed",
         fast_forward: int = 0,
         machine: str = "4d340",
+        workload_args: tuple = (),
     ) -> "tuple[Job, bool]":
         """Queue a build; returns ``(job, created)``.
 
         ``created`` is False when the request coalesced onto a job for
-        the same exhibit, engine tier *and machine* that is already
-        queued or running. Raises :class:`QueueFull` when the bounded
-        queue has no room and :class:`RuntimeError` after :meth:`close`.
+        the same exhibit, engine tier, machine *and workload knobs* that
+        is already queued or running. Raises :class:`QueueFull` when the
+        bounded queue has no room and :class:`RuntimeError` after
+        :meth:`close`.
         """
         if self._queue is None or self.closing:
             raise RuntimeError("job manager is not accepting work")
-        variant = (exhibit_id, fidelity, fast_forward, machine)
+        variant = (exhibit_id, fidelity, fast_forward, machine,
+                   workload_args)
         for job in self.jobs.values():
             if job.variant == variant and job.state in (QUEUED, RUNNING):
                 if self.metrics is not None:
@@ -252,7 +259,8 @@ class JobManager:
                 return job, False
         job = Job(job_id=f"job-{next(self._ids)}-{uuid.uuid4().hex[:8]}",
                   exhibit_id=exhibit_id, fidelity=fidelity,
-                  fast_forward=fast_forward, machine=machine)
+                  fast_forward=fast_forward, machine=machine,
+                  workload_args=workload_args)
         try:
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
@@ -275,9 +283,11 @@ class JobManager:
         fidelity: str = "detailed",
         fast_forward: int = 0,
         machine: str = "4d340",
+        workload_args: tuple = (),
     ) -> Optional[dict]:
         """The most recent completed payload for the exhibit variant."""
-        variant = (exhibit_id, fidelity, fast_forward, machine)
+        variant = (exhibit_id, fidelity, fast_forward, machine,
+                   workload_args)
         for job_id in reversed(self._finished_order):
             job = self.jobs.get(job_id)
             if job is not None and job.variant == variant \
@@ -332,7 +342,7 @@ class JobManager:
             self._executor, self.runner,
             job.exhibit_id,
             apply_fidelity(self.settings, job.fidelity, job.fast_forward,
-                           job.machine),
+                           job.machine, job.workload_args),
             self.cache_spec,
         )
         self._tasks_by_job[job.job_id] = future

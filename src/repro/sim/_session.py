@@ -40,7 +40,7 @@ from repro.sanitizers import (
 )
 from repro.sim.config import CALIBRATIONS
 from repro.sim.usermode import UserEngine
-from repro.workloads import Workload, make_workload
+from repro.workloads import Workload, canonical_workload_args, make_workload
 
 
 def clock_stagger(clock_period: int, num_cpus: int) -> List[int]:
@@ -135,6 +135,7 @@ class Simulation:
         fast_forward: int = 0,
         record_drivers: bool = False,
         machine=None,
+        workload_args=None,
     ):
         # ``machine`` (a preset name from repro.machines, or a full
         # MachineParams) is the public way to pick a geometry; bare
@@ -167,8 +168,18 @@ class Simulation:
                 "Use fidelity='mixed' (checkers run inside the detailed "
                 "window) or fidelity='detailed'."
             )
+        # ``workload_args`` is the canonical tuned-knob form: a sorted
+        # tuple of (name, value) pairs (a dict is accepted and
+        # canonicalized). It only applies when the workload arrives by
+        # name — a pre-built Workload instance already carries its knobs.
+        self.workload_args = canonical_workload_args(workload_args)
         if isinstance(workload, str):
-            workload = make_workload(workload)
+            workload = make_workload(workload, **dict(self.workload_args))
+        elif self.workload_args:
+            raise TypeError(
+                "workload_args= requires a workload name; the supplied "
+                "Workload instance already carries its arguments"
+            )
         self.workload = workload
 
         calibration = CALIBRATIONS.get(workload.name)
@@ -237,6 +248,8 @@ class Simulation:
         self._idle_flag = [False] * ncpus
         self._tty_queue: List = []
         self._tty_head = 0
+        self._net_queue: List = []
+        self._net_head = 0
         self.horizon_cycles = 0
 
         # Fidelity schedule state (repro.fidelity). Setup above ran at
@@ -296,6 +309,9 @@ class Simulation:
         rng = substream(self.seed, "tty")
         self._tty_queue = sorted(self.workload.tty_events(horizon, rng))
         self._tty_head = 0
+        net_rng = substream(self.seed, "net")
+        self._net_queue = sorted(self.workload.net_events(horizon, net_rng))
+        self._net_head = 0
 
         if self.record_drivers or not self._detail_active:
             # Log driver next()s and forks so a checkpoint taken mid-run
@@ -518,6 +534,8 @@ class Simulation:
             self._service_master(proc)
         if cpu == self.params.device_cpu:
             self._deliver_device_events(proc)
+        if cpu == self.params.network_cpu and self._net_queue:
+            self._deliver_net_events(proc)
 
         # Clock ticks due on this CPU.
         while self._next_clock[cpu] <= proc.cycles:
@@ -584,6 +602,20 @@ class Simulation:
             self._leave_idle(proc)
             with kernel.os_invocation(proc, HighLevelOp.INTERRUPT):
                 kernel.interrupts.terminal(proc, session_id, nchars)
+            self._enter_idle_if_none(proc)
+
+    def _deliver_net_events(self, proc: Processor) -> None:
+        """Inbound requests due at the NIC, as network interrupts."""
+        kernel = self.kernel
+        while (
+            self._net_head < len(self._net_queue)
+            and self._net_queue[self._net_head][0] <= proc.cycles
+        ):
+            _, session_id, nchars = self._net_queue[self._net_head]
+            self._net_head += 1
+            self._leave_idle(proc)
+            with kernel.os_invocation(proc, HighLevelOp.INTERRUPT):
+                kernel.interrupts.network(proc, session_id, nchars)
             self._enter_idle_if_none(proc)
 
     # ------------------------------------------------------------------

@@ -407,6 +407,18 @@ def load_or_run(
             sim_kwargs.pop("machine")
         else:
             sim_kwargs["machine"] = machine
+    # Tuned workload knobs also change the run's bytes, so they key the
+    # run — canonicalized to the sorted pair-tuple form (deterministic
+    # repr) with the empty default normalized away, so tuned and default
+    # runs never cross-reuse and every pre-existing key stays identical.
+    if "workload_args" in sim_kwargs:
+        from repro.workloads import canonical_workload_args
+
+        workload_args = canonical_workload_args(sim_kwargs["workload_args"])
+        if workload_args:
+            sim_kwargs["workload_args"] = workload_args
+        else:
+            sim_kwargs.pop("workload_args")
     mixed = sim_kwargs.get("fidelity") == "mixed"
     key = None
     claimed = False

@@ -10,6 +10,11 @@ from typing import List, Tuple
 # a terminal (Section 3's "program that simulates a user typing").
 TtyEvent = Tuple[int, int, int]
 
+# (cycles, session_id, nchars): one request arriving at the NIC; the
+# network CPU delivers it as a network interrupt that queues the bytes
+# on the session's stream (repro.workloads.netserver).
+NetEvent = Tuple[int, int, int]
+
 
 @dataclass
 class EngineConfig:
@@ -91,6 +96,10 @@ class Workload(ABC):
 
     def tty_events(self, horizon_cycles: int, rng) -> List[TtyEvent]:
         """Terminal input schedule (empty unless the workload has one)."""
+        return []
+
+    def net_events(self, horizon_cycles: int, rng) -> List[NetEvent]:
+        """Network-arrival schedule, delivered on the network CPU."""
         return []
 
     def baseline_frames(self) -> int:

@@ -1,0 +1,86 @@
+"""Seedable table-based Zipf generator for skewed workloads.
+
+Modelled on the Midas synthetic-application harness (SNIPPETS.md): a
+``zipf_table_distribution`` builds one cumulative table for a keyspace,
+and every worker thread samples from its own generator instance so the
+draw sequences are independent and reproducible. Rank ``k`` (0-based)
+is drawn with probability proportional to ``1 / (k + 1) ** skew``;
+``skew=0`` degenerates to the uniform distribution and larger skews
+concentrate traffic on the low ranks (``skew=0.99`` is the classic
+YCSB/Midas setting).
+
+The table is O(keys) floats and is shared across generator instances
+via a per-process memo, so a workload with many workers builds it once.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, List, Tuple
+
+# (keys, skew) -> cumulative distribution table, shared by all
+# generators in the process; the table is immutable once built.
+_table_memo: Dict[Tuple[int, float], List[float]] = {}
+
+
+def zipf_table_distribution(keys: int, skew: float) -> List[float]:
+    """The cumulative distribution table over ``keys`` ranks.
+
+    ``table[k]`` is ``P(rank <= k)``; the last entry is exactly 1.0.
+    Ranks are 0-based and ordered most-popular first.
+    """
+    if keys < 1:
+        raise ValueError(f"keys must be >= 1, got {keys}")
+    if skew < 0.0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    memo_key = (keys, float(skew))
+    table = _table_memo.get(memo_key)
+    if table is not None:
+        return table
+    weights = [1.0 / float(k + 1) ** skew for k in range(keys)]
+    total = sum(weights)
+    table = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        table.append(acc / total)
+    table[-1] = 1.0  # guard against accumulated rounding
+    _table_memo[memo_key] = table
+    return table
+
+
+def zipf_pmf(keys: int, skew: float) -> List[float]:
+    """The analytic probability mass function over the ranks."""
+    table = zipf_table_distribution(keys, skew)
+    pmf = [table[0]]
+    for k in range(1, keys):
+        pmf.append(table[k] - table[k - 1])
+    return pmf
+
+
+class ZipfGenerator:
+    """One worker's sampling stream over a shared Zipf table.
+
+    Each worker gets its own instance (Midas's per-thread generators):
+    the cumulative table is shared, the :class:`random.Random` stream is
+    private, so draw sequences are independent yet fully determined by
+    ``seed``.
+    """
+
+    def __init__(self, keys: int, skew: float, seed: int):
+        self.keys = keys
+        self.skew = float(skew)
+        self._table = zipf_table_distribution(keys, skew)
+        self._rng = random.Random(seed)
+
+    def sample(self) -> int:
+        """Draw one 0-based rank (0 is the most popular)."""
+        u = self._rng.random()
+        return bisect.bisect_right(self._table, u)
+
+    def pmf(self, rank: int) -> float:
+        """Analytic ``P(rank)`` for the frequency-sanity tests."""
+        if rank == 0:
+            return self._table[0]
+        return self._table[rank] - self._table[rank - 1]

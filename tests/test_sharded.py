@@ -164,6 +164,17 @@ class TestShardedIdentity:
 # ----------------------------------------------------------------------
 # Seam crosscheck
 # ----------------------------------------------------------------------
+class TestServerWorkloadShardedIdentity:
+    """The new server workloads hold the same serial-vs-sharded contract."""
+
+    @pytest.mark.parametrize("name", ["kv", "netserver"])
+    def test_serial_vs_four_shards(self, name):
+        run, _ = load_or_run(None, name, 4.0, 20.0, seed=3)
+        serial = analyze_trace(run).analysis
+        sharded = analyze_trace(run, shards=4).analysis
+        _assert_identical(sharded, serial)
+
+
 class TestSeams:
     def _seam(self, cumulative, index=1, entry_index=10):
         counters = dict.fromkeys(MONITOR_FIELDS, 0)

@@ -1,0 +1,69 @@
+"""Zipf generator: table construction, sampling and analytic PMF."""
+
+import pytest
+
+from repro.workloads.zipf import ZipfGenerator, zipf_pmf, zipf_table_distribution
+
+
+class TestTable:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_table_distribution(0, 0.99)
+        with pytest.raises(ValueError):
+            zipf_table_distribution(16, -0.1)
+
+    def test_cumulative_and_complete(self):
+        table = zipf_table_distribution(64, 0.99)
+        assert len(table) == 64
+        assert all(a <= b for a, b in zip(table, table[1:]))
+        assert table[-1] == 1.0
+
+    def test_memoized(self):
+        assert zipf_table_distribution(64, 0.99) is \
+            zipf_table_distribution(64, 0.99)
+
+    def test_skew_zero_is_uniform(self):
+        pmf = zipf_pmf(10, 0.0)
+        assert all(abs(p - 0.1) < 1e-12 for p in pmf)
+
+    def test_pmf_is_rank_ordered(self):
+        pmf = zipf_pmf(100, 0.99)
+        assert abs(sum(pmf) - 1.0) < 1e-9
+        assert all(a >= b for a, b in zip(pmf, pmf[1:]))
+
+
+class TestGenerator:
+    def test_samples_in_range(self):
+        gen = ZipfGenerator(16, 1.2, seed=3)
+        for _ in range(2000):
+            assert 0 <= gen.sample() < 16
+
+    def test_seed_determinism(self):
+        a = ZipfGenerator(1024, 0.99, seed=11)
+        b = ZipfGenerator(1024, 0.99, seed=11)
+        assert [a.sample() for _ in range(500)] == \
+            [b.sample() for _ in range(500)]
+
+    def test_distinct_seeds_diverge(self):
+        a = ZipfGenerator(1024, 0.99, seed=11)
+        b = ZipfGenerator(1024, 0.99, seed=12)
+        assert [a.sample() for _ in range(100)] != \
+            [b.sample() for _ in range(100)]
+
+    def test_empirical_matches_analytic_pmf(self):
+        keys, skew, n = 32, 0.99, 60_000
+        gen = ZipfGenerator(keys, skew, seed=1)
+        counts = [0] * keys
+        for _ in range(n):
+            counts[gen.sample()] += 1
+        for rank in range(8):  # the head carries the mass
+            expected = gen.pmf(rank)
+            observed = counts[rank] / n
+            assert observed == pytest.approx(expected, rel=0.1)
+
+    def test_higher_skew_concentrates_head(self):
+        def head_mass(skew):
+            gen = ZipfGenerator(256, skew, seed=2)
+            hits = sum(1 for _ in range(20_000) if gen.sample() < 8)
+            return hits / 20_000
+        assert head_mass(1.2) > head_mass(0.7) > head_mass(0.0)
